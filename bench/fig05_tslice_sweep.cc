@@ -1,0 +1,67 @@
+// Figure 5 (a-f): time-slice sweep for lu, is, sp, bt, mg, cg — average
+// spinlock latency and normalized execution time at each slice, plus the
+// Pearson correlation between the two series (paper: r > 0.9 everywhere).
+//
+// Setup per Sec. II-B: two nodes, four 16-VCPU VMs each (8:1 overcommit),
+// four identical 2-VM virtual clusters; slices 30, 24, 18, 12, 6, 1, 0.6,
+// 0.3, 0.15 and 0.1 ms set globally.
+#include <vector>
+
+#include "bench_common.h"
+#include "simcore/stats.h"
+
+using namespace atcsim;
+using namespace atcsim::bench;
+
+namespace {
+
+struct Point {
+  double spin_ms;
+  double exec_s;
+};
+
+Point run(const std::string& app, sim::SimTime slice) {
+  cluster::Scenario::Setup setup;
+  setup.nodes = 2;
+  setup.vms_per_node = 4;
+  setup.vcpus_per_vm = 16;  // motivation experiments use 16-VCPU VMs
+  setup.approach = cluster::Approach::kCR;
+  setup.seed = 42;
+  cluster::Scenario s(setup);
+  cluster::build_type_a(s, app, workload::NpbClass::kB);
+  s.start();
+  set_global_guest_slice(s, slice);
+  s.warmup_and_measure(scaled(1_s), scaled(8_s));
+  return Point{s.avg_parallel_spin_latency() * 1e3,
+               s.mean_superstep_with_prefix(app)};
+}
+
+}  // namespace
+
+int main() {
+  banner("Figure 5 — spinlock latency & performance vs time slice",
+         "2 nodes x 4x16-VCPU VMs (8:1), four identical virtual clusters");
+  const std::vector<sim::SimTime> slices = {
+      30_ms, 24_ms, 18_ms, 12_ms, 6_ms, 1_ms, 600_us, 300_us, 150_us, 100_us};
+
+  for (const auto& app : workload::npb_apps()) {
+    std::vector<double> spins, execs;
+    metrics::Table t("Fig. 5 (" + app + ".B)",
+                     {"time slice", "avg spin latency (ms)",
+                      "normalized exec time"});
+    double baseline = 0.0;
+    for (sim::SimTime slice : slices) {
+      const Point p = run(app, slice);
+      if (baseline == 0.0) baseline = p.exec_s;
+      spins.push_back(p.spin_ms);
+      execs.push_back(p.exec_s / baseline);
+      t.add_row({metrics::fmt_ms(sim::to_millis(slice)),
+                 metrics::fmt(p.spin_ms, 2),
+                 metrics::fmt(p.exec_s / baseline)});
+    }
+    t.print(std::cout);
+    std::printf("  pearson(spin latency, exec time) = %.3f (paper: > 0.9)\n\n",
+                sim::pearson(spins, execs));
+  }
+  return 0;
+}

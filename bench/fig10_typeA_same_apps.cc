@@ -1,0 +1,54 @@
+// Figure 10: evaluation type A — the same parallel application on four
+// identical virtual clusters, scaling from 2 to 32 physical nodes, under
+// BS, CS, DSS and ATC (normalized to CR).
+//
+// Paper shape: ATC best and flat across scales (e.g. lu 0.15 at 8 nodes);
+// CS between BS and ATC and degrading with scale; BS only marginally better
+// than CR; DSS between CS and ATC.
+#include "bench_common.h"
+
+using namespace atcsim;
+using namespace atcsim::bench;
+
+namespace {
+
+double run(const std::string& app, cluster::Approach a, int nodes) {
+  cluster::Scenario::Setup setup;
+  setup.nodes = nodes;
+  setup.approach = a;
+  setup.seed = 42;
+  cluster::Scenario s(setup);
+  cluster::build_type_a(s, app, workload::NpbClass::kB);
+  s.start();
+  s.warmup_and_measure(scaled(2_s), scaled(5_s));
+  return s.mean_superstep_with_prefix(app);
+}
+
+}  // namespace
+
+int main() {
+  banner("Figure 10 — type A: same app on four virtual clusters, 2-32 nodes",
+         "N nodes x 4x8-VCPU VMs (4:1), normalized execution time vs CR");
+  const std::vector<cluster::Approach> approaches = {
+      cluster::Approach::kBS, cluster::Approach::kCS, cluster::Approach::kDSS,
+      cluster::Approach::kATC};
+  const std::vector<int> scales = {2, 4, 8, 16, 32};
+
+  for (const auto& app : workload::npb_apps()) {
+    metrics::Table t("Fig. 10 (" + app + ".B): normalized exec time vs CR",
+                     {"nodes", "BS", "CS", "DSS", "ATC"});
+    for (int nodes : scales) {
+      const double cr = run(app, cluster::Approach::kCR, nodes);
+      std::vector<std::string> row = {std::to_string(nodes)};
+      for (cluster::Approach a : approaches) {
+        row.push_back(metrics::fmt(run(app, a, nodes) / cr));
+      }
+      t.add_row(std::move(row));
+    }
+    t.print(std::cout);
+  }
+  std::printf("expected shape: ATC lowest and ~flat; CS rises with scale; "
+              "BS close to 1 (paper example, lu @ 8 nodes: BS 0.85, CS 0.38, "
+              "ATC 0.15)\n");
+  return 0;
+}

@@ -1,0 +1,100 @@
+// google-benchmark micro suite: hot paths of the simulator (event queue,
+// RNG, credit scheduler pick/requeue, end-to-end event throughput).
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "cluster/scenario.h"
+#include "cluster/scenarios.h"
+#include "simcore/event_queue.h"
+#include "simcore/rng.h"
+
+namespace {
+
+using namespace atcsim;
+using namespace atcsim::sim::time_literals;
+
+void BM_EventQueueScheduleAndPop(benchmark::State& state) {
+  sim::EventQueue q;
+  sim::SimTime t = 0;
+  int dummy = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i) {
+      q.schedule(t + (i * 7919) % 1000, [&dummy] { ++dummy; });
+    }
+    while (!q.empty()) q.pop().fn();
+    t += 1000;
+  }
+  benchmark::DoNotOptimize(dummy);
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_EventQueueScheduleAndPop);
+
+void BM_EventQueueCancel(benchmark::State& state) {
+  sim::EventQueue q;
+  for (auto _ : state) {
+    std::vector<sim::EventId> ids;
+    ids.reserve(64);
+    for (int i = 0; i < 64; ++i) ids.push_back(q.schedule(i, [] {}));
+    for (auto id : ids) q.cancel(id);
+    benchmark::DoNotOptimize(q.empty());
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_EventQueueCancel);
+
+void BM_RngNextU64(benchmark::State& state) {
+  sim::Rng rng(1);
+  std::uint64_t acc = 0;
+  for (auto _ : state) acc ^= rng.next_u64();
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_RngNextU64);
+
+void BM_RngExponential(benchmark::State& state) {
+  sim::Rng rng(1);
+  double acc = 0;
+  for (auto _ : state) acc += rng.exponential(1.0);
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_RngExponential);
+
+// End-to-end: simulated seconds per wall second for a 2-node ATC scenario —
+// the figure harnesses' dominant cost.
+void BM_EndToEndAtcScenario(benchmark::State& state) {
+  for (auto _ : state) {
+    cluster::Scenario::Setup setup;
+    setup.nodes = 1;
+    setup.vms_per_node = 4;
+    setup.vcpus_per_vm = 4;
+    setup.pcpus_per_node = 4;
+    setup.approach = cluster::Approach::kATC;
+    cluster::Scenario s(setup);
+    cluster::build_type_a(s, "lu", workload::NpbClass::kB);
+    s.start();
+    s.run_for(500_ms);
+    benchmark::DoNotOptimize(s.simulation().events_executed());
+  }
+}
+BENCHMARK(BM_EndToEndAtcScenario)->Unit(benchmark::kMillisecond);
+
+void BM_EndToEndCreditScenario(benchmark::State& state) {
+  for (auto _ : state) {
+    cluster::Scenario::Setup setup;
+    setup.nodes = 1;
+    setup.vms_per_node = 4;
+    setup.vcpus_per_vm = 4;
+    setup.pcpus_per_node = 4;
+    setup.approach = cluster::Approach::kCR;
+    cluster::Scenario s(setup);
+    cluster::build_type_a(s, "lu", workload::NpbClass::kB);
+    s.start();
+    s.run_for(500_ms);
+    benchmark::DoNotOptimize(s.simulation().events_executed());
+  }
+}
+BENCHMARK(BM_EndToEndCreditScenario)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,101 @@
+// Shared runner for the Sec. IV-C mixed-workload experiment behind
+// Figures 12, 13 and 14: type-B virtual clusters coexisting with web,
+// bonnie++, stream, SPEC-CPU and ping VMs on 32 nodes.
+//
+// ATC appears twice: ATC(30ms) leaves non-parallel VMs at the VMM default;
+// ATC(6ms) uses the Sec. III-C administrator interface to give them a 6 ms
+// slice.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "bench_common.h"
+
+namespace atcsim::bench {
+
+struct MixedVariant {
+  std::string label;
+  cluster::Approach approach;
+  sim::SimTime admin_slice = -1;  // >=0: set on every non-parallel guest VM
+};
+
+inline std::vector<MixedVariant> mixed_variants() {
+  return {
+      {"CR", cluster::Approach::kCR, -1},
+      {"BS", cluster::Approach::kBS, -1},
+      {"CS", cluster::Approach::kCS, -1},
+      {"DSS", cluster::Approach::kDSS, -1},
+      {"VS", cluster::Approach::kVS, -1},
+      {"ATC(30ms)", cluster::Approach::kATC, -1},
+      {"ATC(6ms)", cluster::Approach::kATC, 6 * sim::kMillisecond},
+  };
+}
+
+struct MixedResult {
+  cluster::MixedLayout layout;
+  std::map<std::string, double> parallel_mean;  // key -> mean superstep (s)
+  std::map<std::string, double> web_resp;       // key -> mean response (s)
+  std::map<std::string, double> rates;          // key -> units/s
+  std::map<std::string, double> ping_rtt;       // key -> mean RTT (s)
+};
+
+inline MixedResult run_mixed(const MixedVariant& variant,
+                             std::uint64_t seed = 42) {
+  cluster::Scenario::Setup setup;
+  setup.nodes = 32;
+  setup.approach = variant.approach;
+  setup.seed = seed;
+  cluster::Scenario s(setup);
+  MixedResult r;
+  r.layout = cluster::build_mixed(s);
+  if (variant.admin_slice >= 0) {
+    for (std::size_t i = 0; i < s.platform().vm_count(); ++i) {
+      virt::Vm& vm = s.platform().vm(virt::VmId{static_cast<int>(i)});
+      if (!vm.is_dom0() && !vm.is_parallel()) {
+        vm.set_admin_slice(variant.admin_slice);
+      }
+    }
+  }
+  s.start();
+  s.warmup_and_measure(scaled(2_s), scaled(5_s));
+  for (const auto& key : r.layout.vc_keys) {
+    r.parallel_mean[key] = s.mean_superstep(key);
+  }
+  for (const auto& key : r.layout.independent_parallel_keys) {
+    r.parallel_mean[key] = s.mean_superstep(key);
+  }
+  for (const auto& key : r.layout.web_keys) {
+    r.web_resp[key] = s.metrics().latency(key).mean_seconds();
+  }
+  for (const auto& key : r.layout.disk_keys) {
+    r.rates[key] = s.metrics().rate(key).per_second();
+  }
+  for (const auto& key : r.layout.stream_keys) {
+    r.rates[key] = s.metrics().rate(key).per_second();
+  }
+  for (const auto& key : r.layout.cpu_keys) {
+    r.rates[key] = s.metrics().rate(key).per_second();
+  }
+  for (const auto& key : r.layout.ping_keys) {
+    r.ping_rtt[key] = s.metrics().latency(key).mean_seconds();
+  }
+  return r;
+}
+
+inline double mean_of(const std::map<std::string, double>& m,
+                      const std::vector<std::string>& keys,
+                      const std::string& name_prefix = "") {
+  double sum = 0;
+  int n = 0;
+  for (const auto& key : keys) {
+    if (!name_prefix.empty() && key.rfind(name_prefix, 0) != 0) continue;
+    auto it = m.find(key);
+    if (it == m.end() || it->second <= 0) continue;
+    sum += it->second;
+    ++n;
+  }
+  return n == 0 ? 0.0 : sum / n;
+}
+
+}  // namespace atcsim::bench

@@ -1,0 +1,64 @@
+// Example: scaling a virtual cluster — how the scheduling approach changes
+// the parallel-execution picture as a cluster grows across nodes.
+//
+//   $ ./virtual_cluster_scaling [app]          (default: cg)
+//
+// Runs evaluation type A (four identical virtual clusters of `app`, one VM
+// per node each) at 2, 4 and 8 nodes under CR, CS, BS and ATC and prints
+// per-approach superstep times and spin latencies.
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "cluster/scenario.h"
+#include "cluster/scenarios.h"
+#include "metrics/report.h"
+
+using namespace atcsim;
+using namespace sim::time_literals;
+
+namespace {
+
+struct Cell {
+  double superstep_ms;
+  double spin_ms;
+};
+
+Cell run(const std::string& app, cluster::Approach a, int nodes) {
+  cluster::Scenario::Setup setup;
+  setup.nodes = nodes;
+  setup.approach = a;
+  setup.seed = 2026;
+  cluster::Scenario s(setup);
+  cluster::build_type_a(s, app, workload::NpbClass::kB);
+  s.start();
+  s.warmup_and_measure(2_s, 4_s);
+  return Cell{s.mean_superstep_with_prefix(app) * 1e3,
+              s.avg_parallel_spin_latency() * 1e3};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string app = argc > 1 ? argv[1] : "cg";
+  std::printf("virtual_cluster_scaling: NPB %s.B, four virtual clusters, "
+              "4x8-VCPU VMs per 8-PCPU node\n\n", app.c_str());
+
+  for (int nodes : {2, 4, 8}) {
+    metrics::Table t(app + ".B on " + std::to_string(nodes) + " nodes",
+                     {"approach", "mean superstep (ms)",
+                      "avg spin latency (ms)", "normalized"});
+    double cr = 0.0;
+    for (cluster::Approach a :
+         {cluster::Approach::kCR, cluster::Approach::kCS,
+          cluster::Approach::kBS, cluster::Approach::kATC}) {
+      const Cell c = run(app, a, nodes);
+      if (a == cluster::Approach::kCR) cr = c.superstep_ms;
+      t.add_row({cluster::approach_name(a), metrics::fmt(c.superstep_ms, 1),
+                 metrics::fmt(c.spin_ms, 2),
+                 metrics::fmt(c.superstep_ms / cr)});
+    }
+    t.print(std::cout);
+  }
+  return 0;
+}

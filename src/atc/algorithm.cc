@@ -1,0 +1,55 @@
+#include "atc/algorithm.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace atcsim::atc {
+
+using sim::SimTime;
+
+SimTime compute_time_slice(const AtcConfig& cfg, const PeriodSample& p3,
+                           const PeriodSample& p2, const PeriodSample& p1) {
+  SimTime ts = p1.time_slice;
+
+  // Lines 1-11: shorten on a rising latency trend, or when a three-period
+  // falling trend is attributable to a slice decrease (keep pushing down).
+  const bool rising = p2.spin_latency < p1.spin_latency;
+  const bool falling_by_slice = p3.spin_latency > p2.spin_latency &&
+                                p2.spin_latency > p1.spin_latency &&
+                                p2.time_slice > p1.time_slice;
+  if (rising || falling_by_slice) {
+    if (p1.time_slice > cfg.alpha &&
+        p1.time_slice - cfg.alpha >= cfg.min_threshold) {
+      ts = p1.time_slice - cfg.alpha;
+    } else if (p1.time_slice > cfg.beta &&
+               p1.time_slice - cfg.beta >= cfg.min_threshold) {
+      ts = p1.time_slice - cfg.beta;
+    } else {
+      ts = p1.time_slice;
+    }
+  }
+
+  // Lines 12-20: no synchronization observed for three periods — the VM is
+  // in a compute phase (or not parallel after all); relax toward DEFAULT to
+  // shed context-switch overhead.
+  if (p3.spin_latency == 0 && p2.spin_latency == 0 && p1.spin_latency == 0) {
+    if (p1.time_slice > cfg.default_slice - cfg.alpha) {
+      ts = cfg.default_slice;
+    } else if (p1.time_slice + cfg.alpha <= cfg.default_slice) {
+      ts = p1.time_slice + cfg.alpha;
+    } else {
+      ts = p1.time_slice + cfg.beta;
+    }
+  }
+
+  return std::clamp(ts, cfg.min_threshold, cfg.default_slice);
+}
+
+SimTime compute_time_slice(const AtcConfig& cfg,
+                           const PeriodHistory& history) {
+  assert(history.full());
+  return compute_time_slice(cfg, history.back(3), history.back(2),
+                            history.back(1));
+}
+
+}  // namespace atcsim::atc

@@ -1,0 +1,38 @@
+#include "atc/classifier.h"
+
+namespace atcsim::atc {
+
+VmClassifier::VmClassifier(virt::Node& node,
+                           const sync::PeriodMonitor& monitor, Options opts)
+    : node_(&node), monitor_(&monitor), opts_(opts),
+      state_(node.vms().size()) {}
+
+void VmClassifier::on_period() {
+  for (std::size_t i = 0; i < node_->vms().size(); ++i) {
+    const virt::Vm& vm = *node_->vms()[i];
+    if (vm.is_dom0()) continue;
+    const auto& snap = monitor_->last(vm.id());
+    const double run = static_cast<double>(snap.run_time);
+    const double spin_frac =
+        run > 0.0 ? static_cast<double>(snap.spin_cpu) / run : 0.0;
+    const bool hot = spin_frac >= opts_.spin_fraction_threshold &&
+                     snap.spin_episodes >= opts_.min_episodes;
+    State& st = state_[i];
+    if (hot) {
+      st.cold_streak = 0;
+      if (++st.hot_streak >= opts_.on_periods) st.parallel = true;
+    } else {
+      st.hot_streak = 0;
+      if (++st.cold_streak >= opts_.off_periods) st.parallel = false;
+    }
+  }
+}
+
+bool VmClassifier::is_parallel(const virt::Vm& vm) const {
+  for (std::size_t i = 0; i < node_->vms().size(); ++i) {
+    if (node_->vms()[i].get() == &vm) return state_[i].parallel;
+  }
+  return false;
+}
+
+}  // namespace atcsim::atc

@@ -1,0 +1,61 @@
+// Non-intrusive workload classification (the paper's Sec. VI future work).
+//
+// The published prototype requires the administrator to declare which VMs
+// run parallel applications and monitors spinlock latency with an intrusive
+// guest-kernel patch.  This classifier removes the declaration: it watches
+// the VMM-visible per-period signals the monitor already collects — the
+// fraction of a VM's CPU time spent busy-waiting, and its spin-episode rate
+// — and labels a VM "parallel" when it sustains synchronization-dominated
+// behaviour.  Hysteresis keeps labels stable across compute phases.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sync/period_monitor.h"
+#include "virt/node.h"
+
+namespace atcsim::atc {
+
+class VmClassifier {
+ public:
+  struct Options {
+    /// Spin-CPU share of run time above which a period looks parallel.
+    double spin_fraction_threshold = 0.05;
+    /// Minimum spin episodes per period (filters one-off waits).
+    std::uint64_t min_episodes = 1;
+    /// Consecutive qualifying periods before a VM is labelled parallel.
+    int on_periods = 2;
+    /// Consecutive idle periods (no spinning) before the label is dropped
+    /// (long compute phases must not flip the label; Algorithm 1's
+    /// zero-latency branch already relaxes the slice meanwhile).
+    int off_periods = 20;
+  };
+
+  VmClassifier(virt::Node& node, const sync::PeriodMonitor& monitor)
+      : VmClassifier(node, monitor, Options{}) {}
+  VmClassifier(virt::Node& node, const sync::PeriodMonitor& monitor,
+               Options opts);
+
+  /// Period hook: updates labels from the last monitor snapshot.
+  void on_period();
+
+  /// Current label for a VM hosted on this node (by node-local index).
+  bool is_parallel(const virt::Vm& vm) const;
+
+  const Options& options() const { return opts_; }
+
+ private:
+  struct State {
+    int hot_streak = 0;
+    int cold_streak = 0;
+    bool parallel = false;
+  };
+
+  virt::Node* node_;
+  const sync::PeriodMonitor* monitor_;
+  Options opts_;
+  std::vector<State> state_;  // by VM index within the node
+};
+
+}  // namespace atcsim::atc

@@ -1,0 +1,93 @@
+#include "atc/controller.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "virt/platform.h"
+
+namespace atcsim::atc {
+
+using sim::SimTime;
+
+AtcController::AtcController(virt::Node& node,
+                             const sync::PeriodMonitor& monitor, AtcConfig cfg)
+    : node_(&node), monitor_(&monitor), cfg_(cfg),
+      history_(node.vms().size()), candidate_(node.vms().size(), 0),
+      wakeup_rate_(node.vms().size(), 0.0) {
+  if (cfg_.auto_classify) {
+    classifier_ = std::make_unique<VmClassifier>(node, monitor);
+  }
+}
+
+bool AtcController::treats_as_parallel(const virt::Vm& vm) const {
+  if (vm.is_dom0()) return false;
+  if (classifier_ != nullptr) return classifier_->is_parallel(vm);
+  return vm.is_parallel();
+}
+
+void AtcController::on_period() {
+  if (classifier_ != nullptr) classifier_->on_period();
+  // Step 1: Algorithm 1 per parallel VM.
+  bool any_parallel = false;
+  SimTime min_slice = cfg_.default_slice;
+  for (std::size_t i = 0; i < node_->vms().size(); ++i) {
+    virt::Vm& vm = *node_->vms()[i];
+    if (!treats_as_parallel(vm)) continue;
+    PeriodHistory& h = history_[i];
+    h.push(PeriodSample{monitor_->avg_spin_latency(vm.id()),
+                        vm.time_slice()});
+    SimTime slice = vm.time_slice();
+    if (h.full()) slice = compute_time_slice(cfg_, h);
+    candidate_[i] = slice;
+    any_parallel = true;
+    min_slice = std::min(min_slice, slice);
+  }
+
+  // Steps 2-3: uniform minimum for parallel VMs; admin/default otherwise.
+  for (std::size_t i = 0; i < node_->vms().size(); ++i) {
+    const auto& vm = node_->vms()[i];
+    if (vm->is_dom0()) continue;
+    if (treats_as_parallel(*vm)) {
+      vm->set_time_slice(any_parallel ? min_slice : cfg_.default_slice);
+    } else if (vm->has_admin_slice()) {
+      vm->set_time_slice(vm->admin_slice());
+    } else if (cfg_.adaptive_nonparallel) {
+      // Sec. VI extension: latency-sensitive non-parallel VMs (frequent
+      // wake-ups, modest CPU use) get a shorter slice for faster
+      // interrupt turnaround; CPU-bound VMs keep the default.  Wake-ups
+      // arrive in bursts, so the rate is smoothed across periods.
+      const auto& snap = monitor_->last(vm->id());
+      const double rate =
+          static_cast<double>(snap.wakeups) /
+          sim::to_seconds(node_->platform().params().accounting_period);
+      wakeup_rate_[i] = 0.8 * wakeup_rate_[i] + 0.2 * rate;
+      vm->set_time_slice(wakeup_rate_[i] >= cfg_.latency_sensitive_wakeups_hz
+                             ? cfg_.latency_sensitive_slice
+                             : cfg_.default_slice);
+    } else {
+      vm->set_time_slice(cfg_.default_slice);
+    }
+  }
+}
+
+SimTime AtcController::last_candidate(virt::VmId id) const {
+  for (std::size_t i = 0; i < node_->vms().size(); ++i) {
+    if (node_->vms()[i]->id() == id) return candidate_[i];
+  }
+  return 0;
+}
+
+std::vector<std::unique_ptr<AtcController>> install_atc(
+    virt::Platform& platform, sync::PeriodMonitor& monitor, AtcConfig cfg) {
+  std::vector<std::unique_ptr<AtcController>> controllers;
+  controllers.reserve(platform.nodes().size());
+  for (auto& node : platform.nodes()) {
+    controllers.push_back(
+        std::make_unique<AtcController>(*node, monitor, cfg));
+    AtcController* c = controllers.back().get();
+    monitor.subscribe([c](std::uint64_t) { c->on_period(); });
+  }
+  return controllers;
+}
+
+}  // namespace atcsim::atc

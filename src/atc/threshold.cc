@@ -1,0 +1,41 @@
+#include "atc/threshold.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+#include "simcore/stats.h"
+
+namespace atcsim::atc {
+
+ThresholdResult optimize_threshold(
+    const std::vector<sim::SimTime>& slices,
+    const std::vector<std::vector<double>>& normalized_time) {
+  assert(slices.size() == normalized_time.size());
+  ThresholdResult result;
+  if (slices.empty()) return result;
+  const std::size_t napps = normalized_time.front().size();
+
+  // O: per-application minimum over all candidate slices.
+  std::vector<double> optimum(napps,
+                              std::numeric_limits<double>::infinity());
+  for (const auto& row : normalized_time) {
+    assert(row.size() == napps);
+    for (std::size_t a = 0; a < napps; ++a) {
+      optimum[a] = std::min(optimum[a], row[a]);
+    }
+  }
+
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t s = 0; s < slices.size(); ++s) {
+    const double d = sim::euclidean_distance(optimum, normalized_time[s]);
+    result.candidates.push_back(ThresholdCandidate{slices[s], d});
+    if (d < best) {
+      best = d;
+      result.best_slice = slices[s];
+    }
+  }
+  return result;
+}
+
+}  // namespace atcsim::atc

@@ -1,0 +1,32 @@
+// Sec. III-B: the uniform minimum-time-slice threshold study.
+//
+// Given, for each candidate slice, the normalized execution time of every
+// application, compute the Euclidean distance (Eq. 1) between that slice's
+// performance vector P and the per-application optimum vector O, and pick
+// the slice minimizing D(O, P).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "simcore/time.h"
+
+namespace atcsim::atc {
+
+struct ThresholdCandidate {
+  sim::SimTime slice = 0;
+  double distance = 0.0;  ///< D(O, P) of Eq. 1
+};
+
+struct ThresholdResult {
+  std::vector<ThresholdCandidate> candidates;  ///< in input order
+  sim::SimTime best_slice = 0;                 ///< argmin distance
+};
+
+/// `normalized_time[s][a]`: normalized execution time of application `a`
+/// under candidate slice `slices[s]`.  Every row must have the same length.
+ThresholdResult optimize_threshold(
+    const std::vector<sim::SimTime>& slices,
+    const std::vector<std::vector<double>>& normalized_time);
+
+}  // namespace atcsim::atc

@@ -1,0 +1,59 @@
+#include "cache/xenoprof.h"
+
+#include <cassert>
+
+namespace atcsim::cache {
+
+using sim::SimTime;
+
+XenoprofSampler::XenoprofSampler(virt::Platform& platform, SimTime interval)
+    : platform_(&platform), interval_(interval) {
+  assert(interval_ > 0);
+}
+
+void XenoprofSampler::start() {
+  assert(!started_);
+  started_ = true;
+  struct Rearm {
+    XenoprofSampler* self;
+    void operator()() const {
+      self->sample();
+      self->platform_->simulation().call_in(self->interval_, *this);
+    }
+  };
+  platform_->simulation().call_in(interval_, Rearm{this});
+}
+
+std::uint64_t XenoprofSampler::total_now() const {
+  std::uint64_t total = 0;
+  for (std::size_t id = 0; id < platform_->vm_count(); ++id) {
+    total += platform_->vm(virt::VmId{static_cast<std::int32_t>(id)})
+                 .totals()
+                 .llc_misses;
+  }
+  return total;
+}
+
+void XenoprofSampler::sample() {
+  samples_.push_back(
+      Sample{platform_->simulation().now(), total_now()});
+}
+
+std::uint64_t XenoprofSampler::vm_misses(virt::VmId id) const {
+  return platform_->vm(id).totals().llc_misses;
+}
+
+double XenoprofSampler::miss_rate_per_second() const {
+  const SimTime now = platform_->simulation().now();
+  const SimTime span = now - baseline_time_;
+  if (span <= 0) return 0.0;
+  const std::uint64_t misses = total_now() - baseline_misses_;
+  return static_cast<double>(misses) / sim::to_seconds(span);
+}
+
+void XenoprofSampler::reset_baseline() {
+  baseline_misses_ = total_now();
+  baseline_time_ = platform_->simulation().now();
+}
+
+}  // namespace atcsim::cache

@@ -1,0 +1,80 @@
+#include "cluster/approach.h"
+
+#include "sched/coschedule.h"
+#include "sched/credit.h"
+#include "sched/vslicer.h"
+
+namespace atcsim::cluster {
+
+std::string approach_name(Approach a) {
+  switch (a) {
+    case Approach::kCR:
+      return "CR";
+    case Approach::kCS:
+      return "CS";
+    case Approach::kBS:
+      return "BS";
+    case Approach::kDSS:
+      return "DSS";
+    case Approach::kVS:
+      return "VS";
+    case Approach::kATC:
+      return "ATC";
+  }
+  return "?";
+}
+
+const std::vector<Approach>& all_approaches() {
+  static const std::vector<Approach> all = {Approach::kCR,  Approach::kCS,
+                                            Approach::kBS,  Approach::kDSS,
+                                            Approach::kVS,  Approach::kATC};
+  return all;
+}
+
+ApproachRuntime install_approach(virt::Platform& platform,
+                                 sync::PeriodMonitor& monitor, Approach a,
+                                 const atc::AtcConfig& atc_cfg) {
+  ApproachRuntime runtime;
+  for (auto& node : platform.nodes()) {
+    switch (a) {
+      case Approach::kCR:
+      case Approach::kATC:
+      case Approach::kDSS:
+        platform.set_scheduler(node->id(),
+                               std::make_unique<sched::CreditScheduler>());
+        break;
+      case Approach::kBS: {
+        sched::CreditScheduler::Options opts;
+        opts.placement = sched::Placement::kBalance;
+        platform.set_scheduler(
+            node->id(), std::make_unique<sched::CreditScheduler>(opts));
+        break;
+      }
+      case Approach::kCS: {
+        auto cs = std::make_unique<sched::CoScheduler>();
+        sched::CoScheduler* raw = cs.get();
+        platform.set_scheduler(node->id(), std::move(cs));
+        monitor.subscribe([raw, &monitor](std::uint64_t) {
+          raw->update_gang_flags(monitor);
+        });
+        break;
+      }
+      case Approach::kVS:
+        platform.set_scheduler(node->id(),
+                               std::make_unique<sched::VSlicerScheduler>());
+        break;
+    }
+    if (a == Approach::kDSS) {
+      runtime.dss_controllers.push_back(
+          std::make_unique<sched::DssController>(*node, monitor));
+      sched::DssController* raw = runtime.dss_controllers.back().get();
+      monitor.subscribe([raw](std::uint64_t) { raw->on_period(); });
+    }
+  }
+  if (a == Approach::kATC) {
+    runtime.atc_controllers = atc::install_atc(platform, monitor, atc_cfg);
+  }
+  return runtime;
+}
+
+}  // namespace atcsim::cluster

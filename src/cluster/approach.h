@@ -1,0 +1,38 @@
+// Scheduling-approach factory: wires schedulers + adaptive controllers.
+//
+// The paper compares CR (Xen credit), CS (dynamic co-scheduling), BS
+// (balance scheduling), DSS (dynamic switching-frequency scaling), VS
+// (vSlicer) and ATC.  All are credit-based; they differ in placement, gang
+// dispatch, and how per-VM time slices are driven.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "atc/config.h"
+#include "atc/controller.h"
+#include "sched/dss.h"
+#include "sync/period_monitor.h"
+#include "virt/platform.h"
+
+namespace atcsim::cluster {
+
+enum class Approach { kCR, kCS, kBS, kDSS, kVS, kATC };
+
+std::string approach_name(Approach a);
+const std::vector<Approach>& all_approaches();
+
+/// Owns the per-node adaptive controllers installed for an approach.
+struct ApproachRuntime {
+  std::vector<std::unique_ptr<atc::AtcController>> atc_controllers;
+  std::vector<std::unique_ptr<sched::DssController>> dss_controllers;
+};
+
+/// Installs the scheduler on every node and subscribes any controllers to
+/// the monitor.  VMs must already exist; call before Engine::start().
+ApproachRuntime install_approach(virt::Platform& platform,
+                                 sync::PeriodMonitor& monitor, Approach a,
+                                 const atc::AtcConfig& atc_cfg = {});
+
+}  // namespace atcsim::cluster

@@ -1,0 +1,207 @@
+#include "cluster/scenario.h"
+
+#include <cassert>
+
+namespace atcsim::cluster {
+
+using sim::SimTime;
+
+Scenario::Scenario(Setup setup) : setup_(setup), metrics_(simulation_) {
+  virt::PlatformConfig pc;
+  pc.nodes = setup_.nodes;
+  pc.pcpus_per_node = setup_.pcpus_per_node;
+  pc.params = setup_.params;
+  pc.seed = setup_.seed;
+  platform_ = std::make_unique<virt::Platform>(simulation_, pc);
+  network_ = std::make_unique<net::VirtualNetwork>(*platform_);
+  network_->attach();
+  monitor_ = std::make_unique<sync::PeriodMonitor>(*platform_);
+}
+
+Scenario::~Scenario() = default;
+
+std::vector<virt::Vm*> Scenario::create_cluster_vms(
+    const std::string& name, const std::vector<int>& node_for_vm) {
+  std::vector<virt::Vm*> vms;
+  vms.reserve(node_for_vm.size());
+  for (std::size_t i = 0; i < node_for_vm.size(); ++i) {
+    virt::Vm& vm = platform_->create_vm(
+        virt::NodeId{node_for_vm[i]}, virt::VmType::kParallel,
+        name + "-vm" + std::to_string(i), setup_.vcpus_per_vm);
+    // Parallel VMs are network-driven: vSlicer's admin marks them LS.
+    vm.set_latency_sensitive(true);
+    vms.push_back(&vm);
+  }
+  return vms;
+}
+
+workload::BspApp& Scenario::add_bsp_app(const std::string& key,
+                                        const workload::BspConfig& cfg,
+                                        std::vector<virt::Vm*> vms) {
+  assert(!started_);
+  auto& superstep = metrics_.durations(key + "/superstep");
+  auto& iteration = metrics_.durations(key + "/iteration");
+  bsp_apps_.push_back(std::make_unique<workload::BspApp>(
+      *network_, std::move(vms), cfg,
+      platform_->rng().split(std::hash<std::string>{}(key)), &superstep,
+      &iteration));
+  bsp_apps_.back()->attach();
+  bsp_keys_.push_back(key);
+  return *bsp_apps_.back();
+}
+
+void Scenario::add_identical_clusters(const workload::BspConfig& cfg) {
+  for (int j = 0; j < setup_.vms_per_node; ++j) {
+    std::vector<int> placement;
+    for (int n = 0; n < setup_.nodes; ++n) placement.push_back(n);
+    auto vms = create_cluster_vms(cfg.name + "-vc" + std::to_string(j),
+                                  placement);
+    add_bsp_app(cfg.name + "/vc" + std::to_string(j), cfg, std::move(vms));
+  }
+}
+
+virt::Vm& Scenario::add_cpu_vm(int node,
+                               const workload::CpuBoundWorkload::Config& cfg,
+                               const std::string& key) {
+  assert(!started_);
+  virt::Vm& vm = platform_->create_vm(virt::NodeId{node},
+                                      virt::VmType::kNonParallel,
+                                      key, setup_.vcpus_per_vm);
+  workloads_.push_back(std::make_unique<workload::CpuBoundWorkload>(
+      cfg, platform_->rng().split(std::hash<std::string>{}(key)),
+      &metrics_.rate(key)));
+  vm.vcpus()[0]->set_workload(workloads_.back().get());
+  return vm;
+}
+
+virt::Vm& Scenario::add_disk_vm(int node, const std::string& key) {
+  assert(!started_);
+  virt::Vm& vm = platform_->create_vm(virt::NodeId{node},
+                                      virt::VmType::kNonParallel, key,
+                                      setup_.vcpus_per_vm);
+  workloads_.push_back(std::make_unique<workload::DiskWorkload>(
+      *network_, vm, workload::DiskWorkload::Config{}, &metrics_.rate(key)));
+  vm.vcpus()[0]->set_workload(workloads_.back().get());
+  return vm;
+}
+
+virt::Vm& Scenario::add_ping_pair(int node_a, int node_b,
+                                  const std::string& key) {
+  assert(!started_);
+  virt::Vm& pinger = platform_->create_vm(virt::NodeId{node_a},
+                                          virt::VmType::kNonParallel, key,
+                                          setup_.vcpus_per_vm);
+  virt::Vm& peer = platform_->create_vm(virt::NodeId{node_b},
+                                        virt::VmType::kNonParallel,
+                                        key + "-peer", setup_.vcpus_per_vm);
+  pinger.set_latency_sensitive(true);
+  peer.set_latency_sensitive(true);
+  workloads_.push_back(std::make_unique<workload::PingWorkload>(
+      *network_, pinger, peer, workload::PingWorkload::Config{},
+      &metrics_.latency(key)));
+  pinger.vcpus()[0]->set_workload(workloads_.back().get());
+  workloads_.push_back(
+      std::make_unique<workload::IdleServerWorkload>(platform_->engine()));
+  peer.vcpus()[0]->set_workload(workloads_.back().get());
+  return pinger;
+}
+
+virt::Vm& Scenario::add_web_vm(int node, double requests_per_second,
+                               const std::string& key) {
+  assert(!started_);
+  virt::Vm& vm = platform_->create_vm(virt::NodeId{node},
+                                      virt::VmType::kNonParallel, key,
+                                      setup_.vcpus_per_vm);
+  vm.set_latency_sensitive(true);
+  auto server = std::make_unique<workload::WebServerWorkload>(
+      *network_, vm, workload::WebServerWorkload::Config{},
+      &metrics_.latency(key),
+      platform_->rng().split(std::hash<std::string>{}(key)));
+  vm.vcpus()[0]->set_workload(server.get());
+  workload::HttperfClient::Config cc;
+  cc.rate_per_second = requests_per_second;
+  clients_.push_back(std::make_unique<workload::HttperfClient>(
+      *network_, vm, *server, cc,
+      platform_->rng().split(std::hash<std::string>{}(key + "/client"))));
+  workloads_.push_back(std::move(server));
+  return vm;
+}
+
+void Scenario::start() {
+  assert(!started_);
+  started_ = true;
+  runtime_ = install_approach(*platform_, *monitor_, setup_.approach,
+                              setup_.atc);
+  monitor_->start();
+  for (auto& client : clients_) client->start();
+  platform_->engine().start();
+}
+
+void Scenario::run_for(SimTime duration) {
+  assert(started_);
+  simulation_.run_until(simulation_.now() + duration);
+}
+
+void Scenario::warmup_and_measure(SimTime warmup, SimTime measure) {
+  if (!started_) start();
+  run_for(warmup);
+  metrics_.reset_all();
+  reset_platform_stats();
+  run_for(measure);
+}
+
+void Scenario::reset_platform_stats() {
+  for (std::size_t id = 0; id < platform_->vm_count(); ++id) {
+    virt::Vm& vm = platform_->vm(virt::VmId{static_cast<std::int32_t>(id)});
+    vm.totals() = virt::Vm::Totals{};
+    for (auto& v : vm.vcpus()) v->mutable_totals() = virt::Vcpu::Totals{};
+  }
+  llc_baseline_ = 0;  // totals were zeroed; baseline resets with them
+  stats_reset_at_ = simulation_.now();
+}
+
+double Scenario::mean_superstep(const std::string& key) {
+  return metrics_.durations(key + "/superstep").mean_seconds();
+}
+
+double Scenario::mean_superstep_with_prefix(const std::string& prefix) {
+  double sum = 0.0;
+  int n = 0;
+  for (const auto& key : bsp_keys_) {
+    if (key.rfind(prefix, 0) != 0) continue;
+    const double m = mean_superstep(key);
+    if (m > 0.0) {
+      sum += m;
+      ++n;
+    }
+  }
+  return n == 0 ? 0.0 : sum / n;
+}
+
+double Scenario::avg_parallel_spin_latency() {
+  sim::SimTime wall = 0;
+  std::uint64_t episodes = 0;
+  for (std::size_t id = 0; id < platform_->vm_count(); ++id) {
+    const virt::Vm& vm =
+        platform_->vm(virt::VmId{static_cast<std::int32_t>(id)});
+    if (!vm.is_parallel()) continue;
+    wall += vm.totals().spin_wall;
+    episodes += vm.totals().spin_episodes;
+  }
+  if (episodes == 0) return 0.0;
+  return sim::to_seconds(wall) / static_cast<double>(episodes);
+}
+
+double Scenario::llc_miss_rate() {
+  std::uint64_t misses = 0;
+  for (std::size_t id = 0; id < platform_->vm_count(); ++id) {
+    misses += platform_->vm(virt::VmId{static_cast<std::int32_t>(id)})
+                  .totals()
+                  .llc_misses;
+  }
+  const SimTime span = simulation_.now() - stats_reset_at_;
+  if (span <= 0) return 0.0;
+  return static_cast<double>(misses - llc_baseline_) / sim::to_seconds(span);
+}
+
+}  // namespace atcsim::cluster

@@ -1,0 +1,120 @@
+// Scenario: one complete simulated experiment configuration.
+//
+// Owns the simulation, platform, network, monitor, scheduling approach,
+// applications and metrics for a single run.  Benches construct a Scenario
+// per (approach x workload x scale) cell, run warmup + measurement, and read
+// the recorders.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "atc/config.h"
+#include "cluster/approach.h"
+#include "metrics/recorders.h"
+#include "net/network.h"
+#include "sync/period_monitor.h"
+#include "virt/platform.h"
+#include "workload/apps.h"
+#include "workload/bsp_app.h"
+
+namespace atcsim::cluster {
+
+class Scenario {
+ public:
+  struct Setup {
+    int nodes = 2;
+    int pcpus_per_node = 8;
+    int vms_per_node = 4;
+    int vcpus_per_vm = 8;
+    Approach approach = Approach::kCR;
+    atc::AtcConfig atc;
+    virt::ModelParams params;
+    std::uint64_t seed = 1;
+  };
+
+  explicit Scenario(Setup setup);
+  ~Scenario();
+
+  Scenario(const Scenario&) = delete;
+  Scenario& operator=(const Scenario&) = delete;
+
+  // --- construction (all before start()) --------------------------------
+
+  /// Creates the VMs of one virtual cluster; `node_for_vm[i]` hosts VM i.
+  std::vector<virt::Vm*> create_cluster_vms(const std::string& name,
+                                            const std::vector<int>& node_for_vm);
+
+  /// Binds a BSP application to cluster VMs; recorders are registered under
+  /// `key` ("<key>/superstep", "<key>/iteration").
+  workload::BspApp& add_bsp_app(const std::string& key,
+                                const workload::BspConfig& cfg,
+                                std::vector<virt::Vm*> vms);
+
+  /// Four identical virtual clusters: cluster j = VM j of every node
+  /// (the paper's type-A and motivation layout).  Keys "<name>/vc<j>".
+  void add_identical_clusters(const workload::BspConfig& cfg);
+
+  /// Independent non-parallel VMs (one app VCPU each).
+  virt::Vm& add_cpu_vm(int node, const workload::CpuBoundWorkload::Config& cfg,
+                       const std::string& key);
+  virt::Vm& add_disk_vm(int node, const std::string& key);
+  /// Pinger on node_a, echo peer on node_b.  RTT recorded under `key`.
+  virt::Vm& add_ping_pair(int node_a, int node_b, const std::string& key);
+  virt::Vm& add_web_vm(int node, double requests_per_second,
+                       const std::string& key);
+
+  // --- lifecycle ----------------------------------------------------------
+
+  /// Installs the approach, starts monitor/clients/engine.  Call once.
+  void start();
+
+  void run_for(sim::SimTime duration);
+
+  /// Runs `warmup` (controller convergence), resets all metrics and
+  /// platform counters, then runs `measure`.
+  void warmup_and_measure(sim::SimTime warmup, sim::SimTime measure);
+
+  // --- results ------------------------------------------------------------
+
+  metrics::MetricsRegistry& metrics() { return metrics_; }
+  virt::Platform& platform() { return *platform_; }
+  sim::Simulation& simulation() { return simulation_; }
+  net::VirtualNetwork& network() { return *network_; }
+  sync::PeriodMonitor& monitor() { return *monitor_; }
+  const Setup& setup() const { return setup_; }
+
+  /// Mean superstep seconds of one app key; 0 when nothing recorded.
+  double mean_superstep(const std::string& key);
+  /// Mean superstep seconds averaged over every key with `prefix`.
+  double mean_superstep_with_prefix(const std::string& prefix);
+  /// Wall spin latency per episode averaged over all parallel VMs (s).
+  double avg_parallel_spin_latency();
+  /// Platform-wide LLC misses per second of simulated time since reset.
+  double llc_miss_rate();
+  /// All BSP app keys registered, in creation order.
+  const std::vector<std::string>& bsp_keys() const { return bsp_keys_; }
+
+  /// Zeroes VM/VCPU cumulative counters (warmup exclusion).
+  void reset_platform_stats();
+
+ private:
+  Setup setup_;
+  sim::Simulation simulation_;
+  std::unique_ptr<virt::Platform> platform_;
+  std::unique_ptr<net::VirtualNetwork> network_;
+  std::unique_ptr<sync::PeriodMonitor> monitor_;
+  metrics::MetricsRegistry metrics_;
+  ApproachRuntime runtime_;
+  std::vector<std::unique_ptr<workload::BspApp>> bsp_apps_;
+  std::vector<std::unique_ptr<virt::Workload>> workloads_;
+  std::vector<std::unique_ptr<workload::HttperfClient>> clients_;
+  std::vector<std::string> bsp_keys_;
+  sim::SimTime stats_reset_at_ = 0;
+  std::uint64_t llc_baseline_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace atcsim::cluster

@@ -1,0 +1,147 @@
+// Experiment measurement: named recorders for durations, latencies and
+// throughput counters, with warmup support (reset after convergence).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "simcore/simulation.h"
+#include "simcore/stats.h"
+#include "simcore/time.h"
+
+namespace atcsim::metrics {
+
+/// Durations of repeated units of work (supersteps / iterations of a
+/// parallel application).  Mean duration is the "execution time" that the
+/// paper's normalized numbers are built from.
+class DurationRecorder {
+ public:
+  void record(sim::SimTime d) {
+    stats_.add(sim::to_seconds(d));
+    samples_.push_back(sim::to_seconds(d));
+  }
+  void reset() {
+    stats_.reset();
+    samples_.clear();
+  }
+  const sim::OnlineStats& stats() const { return stats_; }
+  const std::vector<double>& samples() const { return samples_; }
+  double mean_seconds() const { return stats_.mean(); }
+  std::uint64_t count() const { return stats_.count(); }
+
+ private:
+  sim::OnlineStats stats_;
+  std::vector<double> samples_;
+};
+
+/// Request/response latencies (ping RTT, web response time).  Keeps raw
+/// samples so tail percentiles are exact, not bucketed.
+class LatencyRecorder {
+ public:
+  void record(sim::SimTime latency) {
+    stats_.add(sim::to_seconds(latency));
+    samples_.push_back(sim::to_seconds(latency));
+    sorted_ = false;
+  }
+  void reset() {
+    stats_.reset();
+    samples_.clear();
+    sorted_ = false;
+  }
+  const sim::OnlineStats& stats() const { return stats_; }
+  double mean_seconds() const { return stats_.mean(); }
+  std::uint64_t count() const { return stats_.count(); }
+
+  /// Exact quantile (nearest-rank), q in [0, 1]; 0 when empty.
+  double quantile_seconds(double q) const {
+    if (samples_.empty()) return 0.0;
+    if (!sorted_) {
+      std::sort(samples_.begin(), samples_.end());
+      sorted_ = true;
+    }
+    q = std::clamp(q, 0.0, 1.0);
+    const auto idx = static_cast<std::size_t>(
+        q * static_cast<double>(samples_.size() - 1) + 0.5);
+    return samples_[idx];
+  }
+  double p95_seconds() const { return quantile_seconds(0.95); }
+  double p99_seconds() const { return quantile_seconds(0.99); }
+
+ private:
+  sim::OnlineStats stats_;
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+};
+
+/// Monotone work counter (compute chunks, bytes) turned into a rate against
+/// simulated time; reset() re-baselines for warmup exclusion.
+class RateCounter {
+ public:
+  explicit RateCounter(sim::Simulation& s) : sim_(&s) {}
+  void add(double units) { units_ += units; }
+  void reset() {
+    units_ = 0.0;
+    since_ = sim_->now();
+  }
+  double units() const { return units_; }
+  double per_second() const {
+    const sim::SimTime span = sim_->now() - since_;
+    if (span <= 0) return 0.0;
+    return units_ / sim::to_seconds(span);
+  }
+
+ private:
+  sim::Simulation* sim_;
+  double units_ = 0.0;
+  sim::SimTime since_ = 0;
+};
+
+/// Named registry owning all recorders of one simulation run.
+class MetricsRegistry {
+ public:
+  explicit MetricsRegistry(sim::Simulation& s) : sim_(&s) {}
+
+  DurationRecorder& durations(const std::string& name) {
+    return durations_[name];
+  }
+  LatencyRecorder& latency(const std::string& name) { return latency_[name]; }
+  RateCounter& rate(const std::string& name) {
+    auto it = rates_.find(name);
+    if (it == rates_.end()) {
+      it = rates_.emplace(name, RateCounter(*sim_)).first;
+    }
+    return it->second;
+  }
+
+  bool has_durations(const std::string& name) const {
+    return durations_.contains(name);
+  }
+
+  /// Clears all samples / re-baselines all rates (end of warmup).
+  void reset_all() {
+    for (auto& [name, r] : durations_) r.reset();
+    for (auto& [name, r] : latency_) r.reset();
+    for (auto& [name, r] : rates_) r.reset();
+  }
+
+  const std::map<std::string, DurationRecorder>& all_durations() const {
+    return durations_;
+  }
+  const std::map<std::string, LatencyRecorder>& all_latencies() const {
+    return latency_;
+  }
+  const std::map<std::string, RateCounter>& all_rates() const {
+    return rates_;
+  }
+
+ private:
+  sim::Simulation* sim_;
+  std::map<std::string, DurationRecorder> durations_;
+  std::map<std::string, LatencyRecorder> latency_;
+  std::map<std::string, RateCounter> rates_;
+};
+
+}  // namespace atcsim::metrics

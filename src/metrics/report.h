@@ -1,0 +1,33 @@
+// Paper-style table rendering for the bench harnesses.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace atcsim::metrics {
+
+/// Aligned-column text table with optional CSV output.
+class Table {
+ public:
+  Table(std::string title, std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  void print(std::ostream& os) const;
+  void print_csv(std::ostream& os) const;
+
+  const std::string& title() const { return title_; }
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision double formatting ("0.153").
+std::string fmt(double v, int precision = 3);
+/// SimTime-in-milliseconds formatting ("0.3ms").
+std::string fmt_ms(double ms);
+
+}  // namespace atcsim::metrics

@@ -1,0 +1,199 @@
+#include "net/network.h"
+
+#include <cassert>
+
+namespace atcsim::net {
+
+using sim::SimTime;
+
+// ---------------------------------------------------------------- Dom0Backend
+
+Dom0Backend::Dom0Backend(VirtualNetwork& net, virt::Node& node)
+    : net_(&net), node_(&node) {}
+
+void Dom0Backend::enqueue(Job job) {
+  jobs_.push_back(std::move(job));
+  // Ring the event channel: wake dom0 if it is idle-blocked.
+  if (idle_wait_ != nullptr && !idle_wait_->signalled()) {
+    idle_wait_->signal();
+  }
+}
+
+virt::Action Dom0Backend::next(virt::Vcpu& /*self*/) {
+  // The previous Compute modelled the CPU cost of a job; apply its effect.
+  if (pending_effect_) {
+    auto effect = std::move(pending_effect_);
+    pending_effect_ = nullptr;
+    effect();
+  }
+  if (!jobs_.empty()) {
+    Job job = std::move(jobs_.front());
+    jobs_.pop_front();
+    pending_effect_ = std::move(job.effect);
+    return virt::Action::compute(job.cpu_cost);
+  }
+  // Idle: halt until the next event-channel notification.
+  idle_wait_ = std::make_unique<virt::SyncEvent>(net_->engine());
+  return virt::Action::block_wait(*idle_wait_);
+}
+
+// ------------------------------------------------------------ VirtualNetwork
+
+VirtualNetwork::VirtualNetwork(virt::Platform& platform)
+    : platform_(&platform), nodes_(platform.nodes().size()) {}
+
+VirtualNetwork::~VirtualNetwork() = default;
+
+void VirtualNetwork::attach() {
+  assert(!attached_);
+  attached_ = true;
+  for (std::size_t n = 0; n < platform_->nodes().size(); ++n) {
+    virt::Node& node = *platform_->nodes()[n];
+    nodes_[n].backend = std::make_unique<Dom0Backend>(*this, node);
+    assert(node.dom0() != nullptr && node.dom0()->vcpu_count() >= 1);
+    node.dom0()->vcpus()[0]->set_workload(nodes_[n].backend.get());
+  }
+}
+
+Dom0Backend& VirtualNetwork::backend_of(const virt::Vm& vm) {
+  return *nodes_[static_cast<std::size_t>(vm.node().index())].backend;
+}
+
+VirtualNetwork::NodeState& VirtualNetwork::state_of(const virt::Vm& vm) {
+  return nodes_[static_cast<std::size_t>(vm.node().index())];
+}
+
+SimTime VirtualNetwork::packet_cpu_cost(std::uint64_t bytes) const {
+  const auto& mp = params();
+  return mp.dom0_packet_cost +
+         static_cast<SimTime>(bytes / 1024) * mp.dom0_per_kib_cost;
+}
+
+SimTime VirtualNetwork::serialize(SimTime now, SimTime& busy_until,
+                                  std::uint64_t bytes, double bandwidth_bps) {
+  const SimTime start = std::max(now, busy_until);
+  const SimTime xfer = static_cast<SimTime>(
+      static_cast<double>(bytes) / bandwidth_bps * 1e9);
+  busy_until = start + xfer;
+  return busy_until;
+}
+
+void VirtualNetwork::transmit(int src_node, int dst_node, std::uint64_t bytes,
+                              std::function<void()> rx_effect_done) {
+  const auto& mp = params();
+  const SimTime now = simulation().now();
+  const SimTime tx_done =
+      serialize(now, nodes_[static_cast<std::size_t>(src_node)].nic_tx_busy,
+                bytes, mp.nic_bandwidth_bps);
+  const SimTime arrive = tx_done + mp.wire_latency;
+  simulation().call_at(
+      arrive, [this, dst_node, bytes, done = std::move(rx_effect_done)]() mutable {
+        const auto& p = params();
+        const SimTime rx_done = serialize(
+            simulation().now(),
+            nodes_[static_cast<std::size_t>(dst_node)].nic_rx_busy, bytes,
+            p.nic_bandwidth_bps);
+        simulation().call_at(rx_done, std::move(done));
+      });
+}
+
+void VirtualNetwork::enqueue_rx(virt::Vm& dst, std::uint64_t bytes,
+                                std::function<void()> on_delivered) {
+  virt::Vm* dvm = &dst;
+  backend_of(dst).enqueue(Dom0Backend::Job{
+      packet_cpu_cost(bytes),
+      [this, dvm, cb = std::move(on_delivered)]() mutable {
+        engine().deposit(*dvm, std::move(cb));
+      }});
+}
+
+void VirtualNetwork::send(virt::Vm& src, virt::Vm& dst, std::uint64_t bytes,
+                          std::function<void()> on_delivered) {
+  assert(attached_);
+  counters_.packets += 1;
+  counters_.bytes += bytes;
+  src.period().io_events += 1;  // tx side counts toward the VM's I/O rate
+  src.totals().io_events += 1;
+  const int src_node = src.node().index();
+  const int dst_node = dst.node().index();
+  virt::Vm* dvm = &dst;
+  backend_of(src).enqueue(Dom0Backend::Job{
+      packet_cpu_cost(bytes),
+      [this, dvm, bytes, src_node, dst_node,
+       cb = std::move(on_delivered)]() mutable {
+        if (src_node == dst_node) {
+          // Bridged loopback: still through dom0, but no NIC/wire.
+          enqueue_rx(*dvm, bytes, std::move(cb));
+          return;
+        }
+        transmit(src_node, dst_node, bytes,
+                 [this, dvm, bytes, cb = std::move(cb)]() mutable {
+                   enqueue_rx(*dvm, bytes, std::move(cb));
+                 });
+      }});
+}
+
+void VirtualNetwork::inject(virt::Vm& dst, std::uint64_t bytes,
+                            std::function<void()> on_delivered) {
+  assert(attached_);
+  counters_.packets += 1;
+  counters_.bytes += bytes;
+  virt::Vm* dvm = &dst;
+  const int dst_node = dst.node().index();
+  simulation().call_in(
+      params().wire_latency,
+      [this, dvm, bytes, dst_node, cb = std::move(on_delivered)]() mutable {
+        const SimTime rx_done = serialize(
+            simulation().now(),
+            nodes_[static_cast<std::size_t>(dst_node)].nic_rx_busy, bytes,
+            params().nic_bandwidth_bps);
+        simulation().call_at(rx_done,
+                             [this, dvm, bytes, cb = std::move(cb)]() mutable {
+                               enqueue_rx(*dvm, bytes, std::move(cb));
+                             });
+      });
+}
+
+void VirtualNetwork::send_out(virt::Vm& src, std::uint64_t bytes,
+                              std::function<void()> on_exit_fabric) {
+  assert(attached_);
+  counters_.packets += 1;
+  counters_.bytes += bytes;
+  src.period().io_events += 1;
+  src.totals().io_events += 1;
+  const int src_node = src.node().index();
+  backend_of(src).enqueue(Dom0Backend::Job{
+      packet_cpu_cost(bytes),
+      [this, bytes, src_node, cb = std::move(on_exit_fabric)]() mutable {
+        const SimTime tx_done = serialize(
+            simulation().now(),
+            nodes_[static_cast<std::size_t>(src_node)].nic_tx_busy, bytes,
+            params().nic_bandwidth_bps);
+        simulation().call_at(tx_done + params().wire_latency, std::move(cb));
+      }});
+}
+
+void VirtualNetwork::submit_disk(virt::Vm& vm, std::uint64_t bytes,
+                                 std::function<void()> on_complete) {
+  assert(attached_);
+  counters_.disk_ops += 1;
+  virt::Vm* gvm = &vm;
+  NodeState* state = &state_of(vm);
+  backend_of(vm).enqueue(Dom0Backend::Job{
+      params().dom0_disk_cost,
+      [this, gvm, state, bytes, cb = std::move(on_complete)]() mutable {
+        const auto& p = params();
+        const SimTime now = simulation().now();
+        const SimTime start = std::max(now, state->disk_busy);
+        const SimTime done =
+            start + p.disk_latency +
+            static_cast<SimTime>(static_cast<double>(bytes) /
+                                 p.disk_bandwidth_bps * 1e9);
+        state->disk_busy = done;
+        simulation().call_at(done, [this, gvm, cb = std::move(cb)]() mutable {
+          engine().deposit(*gvm, std::move(cb));
+        });
+      }});
+}
+
+}  // namespace atcsim::net

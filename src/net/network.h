@@ -1,0 +1,133 @@
+// Xen split-driver I/O model (Fig. 4 of the paper).
+//
+// Every guest packet traverses the paper's 11-step path:
+//   guest (scheduled!) -> event channel -> I/O ring -> dom0 (scheduled!)
+//   -> netback copy -> NIC serialization -> wire -> dst NIC -> dom0 of the
+//   destination node (scheduled!) -> netback copy -> I/O ring -> event
+//   channel -> destination guest (scheduled!).
+// dom0 is a real VM in the node's scheduler: it blocks when idle and is
+// woken (BOOST) by event-channel notifications, so every hop pays the
+// scheduling waits the paper identifies as overhead sources 1-4.
+//
+// The same backend services blkback-style disk requests.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "virt/engine.h"
+#include "virt/platform.h"
+#include "virt/sync_event.h"
+#include "virt/workload_api.h"
+
+namespace atcsim::net {
+
+class VirtualNetwork;
+
+/// dom0's netback/blkback service loop: one per node, bound to dom0 VCPU 0.
+/// Jobs (tx/rx packet processing, disk submissions) are FIFO; each costs
+/// dom0 CPU time, then applies its effect (NIC push, guest delivery, ...).
+class Dom0Backend : public virt::Workload {
+ public:
+  Dom0Backend(VirtualNetwork& net, virt::Node& node);
+
+  struct Job {
+    sim::SimTime cpu_cost = 0;
+    std::function<void()> effect;
+  };
+
+  /// Queues a job and rings dom0's event channel.
+  void enqueue(Job job);
+
+  // virt::Workload:
+  virt::Action next(virt::Vcpu& self) override;
+  double cache_sensitivity() const override { return 0.3; }
+  std::string name() const override { return "dom0-backend"; }
+
+  std::size_t backlog() const { return jobs_.size(); }
+
+ private:
+  VirtualNetwork* net_;
+  virt::Node* node_;
+  std::deque<Job> jobs_;
+  std::function<void()> pending_effect_;
+  std::unique_ptr<virt::SyncEvent> idle_wait_;
+};
+
+/// Platform-wide fabric + per-node backends.
+class VirtualNetwork {
+ public:
+  explicit VirtualNetwork(virt::Platform& platform);
+  ~VirtualNetwork();
+
+  VirtualNetwork(const VirtualNetwork&) = delete;
+  VirtualNetwork& operator=(const VirtualNetwork&) = delete;
+
+  /// Binds each node's backend to dom0 VCPU 0.  Call before Engine::start().
+  void attach();
+
+  /// Guest-to-guest message.  `on_delivered` runs in the destination guest's
+  /// context (event-channel mailbox), i.e. only once that VM can process
+  /// interrupts.
+  void send(virt::Vm& src, virt::Vm& dst, std::uint64_t bytes,
+            std::function<void()> on_delivered);
+
+  /// External client -> guest: the packet appears at the destination node's
+  /// NIC after one wire latency (httperf-style load injection).
+  void inject(virt::Vm& dst, std::uint64_t bytes,
+              std::function<void()> on_delivered);
+
+  /// Guest -> external client; `on_exit_fabric` fires when the packet has
+  /// left the platform (response-time measurement point).
+  void send_out(virt::Vm& src, std::uint64_t bytes,
+                std::function<void()> on_exit_fabric);
+
+  /// blkback disk request from `vm`'s node-local disk.
+  void submit_disk(virt::Vm& vm, std::uint64_t bytes,
+                   std::function<void()> on_complete);
+
+  virt::Engine& engine() { return platform_->engine(); }
+  const virt::ModelParams& params() const { return platform_->params(); }
+  sim::Simulation& simulation() { return platform_->simulation(); }
+
+  struct Counters {
+    std::uint64_t packets = 0;
+    std::uint64_t bytes = 0;
+    std::uint64_t disk_ops = 0;
+  };
+  const Counters& counters() const { return counters_; }
+
+ private:
+  friend class Dom0Backend;
+
+  struct NodeState {
+    std::unique_ptr<Dom0Backend> backend;
+    sim::SimTime nic_tx_busy = 0;
+    sim::SimTime nic_rx_busy = 0;
+    sim::SimTime disk_busy = 0;
+  };
+
+  Dom0Backend& backend_of(const virt::Vm& vm);
+  NodeState& state_of(const virt::Vm& vm);
+  sim::SimTime packet_cpu_cost(std::uint64_t bytes) const;
+  /// Serializes `bytes` through a busy-until resource; returns completion.
+  static sim::SimTime serialize(sim::SimTime now, sim::SimTime& busy_until,
+                                std::uint64_t bytes, double bandwidth_bps);
+
+  /// tx-side NIC + wire + rx-side NIC, then hand to dst node's dom0.
+  void transmit(int src_node, int dst_node, std::uint64_t bytes,
+                std::function<void()> rx_effect_done);
+  void enqueue_rx(virt::Vm& dst, std::uint64_t bytes,
+                  std::function<void()> on_delivered);
+
+  virt::Platform* platform_;
+  std::vector<NodeState> nodes_;
+  Counters counters_;
+  bool attached_ = false;
+};
+
+}  // namespace atcsim::net

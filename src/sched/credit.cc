@@ -1,0 +1,285 @@
+#include "sched/credit.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+#include "virt/platform.h"
+
+namespace atcsim::sched {
+
+using sim::SimTime;
+using virt::CreditPrio;
+using virt::VcpuState;
+
+CreditScheduler::CreditScheduler(Options opts) : opts_(opts) {}
+
+void CreditScheduler::attach(virt::Node& node, virt::Engine& engine) {
+  node_ = &node;
+  engine_ = &engine;
+  queues_.assign(node.pcpus().size(), {});
+  rng_ = engine.platform().rng().split(
+      static_cast<std::uint64_t>(node.index()) + 0x5EED);
+  const SimTime period = engine.params().accounting_period;
+  // Recurring credit refill; the functor re-arms itself each period.
+  struct Rearm {
+    CreditScheduler* self;
+    SimTime period;
+    void operator()() const {
+      self->refill_credits();
+      self->engine().simulation().call_in(period, *this);
+    }
+  };
+  engine.simulation().call_in(period, Rearm{this, period});
+  const SimTime tick_period = engine.params().tick_period;
+  struct TickRearm {
+    CreditScheduler* self;
+    SimTime period;
+    void operator()() const {
+      self->tick();
+      self->engine().simulation().call_in(period, *this);
+    }
+  };
+  engine.simulation().call_in(tick_period, TickRearm{this, tick_period});
+}
+
+void CreditScheduler::tick() {
+  for (std::size_t q = 0; q < queues_.size(); ++q) {
+    Pcpu& p = *node_->pcpus()[q];
+    if (p.idle() || queues_[q].empty()) continue;
+    if (effective_prio(*queues_[q].front()) <
+        effective_prio(*p.current())) {
+      engine().request_resched(p);
+    }
+  }
+}
+
+virt::CreditPrio CreditScheduler::effective_prio(const Vcpu& v) const {
+  // Capped VMs that exhausted their allowance are parked: not scheduled
+  // until the next refill brings their credits back up (Xen semantics).
+  if (v.vm().cap_percent() > 0 && v.sched().credits < 0.0) {
+    return CreditPrio::kParked;
+  }
+  if (v.sched().boosted) return CreditPrio::kBoost;
+  return v.sched().credits >= 0.0 ? CreditPrio::kUnder : CreditPrio::kOver;
+}
+
+void CreditScheduler::enqueue(Vcpu& v) {
+  const int q = static_cast<int>(
+      engine().platform().pcpu(v.sched().queue).index_in_node());
+  auto& dq = queues_[static_cast<std::size_t>(q)];
+  const CreditPrio prio = effective_prio(v);
+  const double credits = v.sched().credits;
+  // Priority class first; within a class, larger credit balance first (with
+  // a dead band so near-equal balances keep FIFO order).  A VM consuming
+  // under its entitlement (large positive balance) thereby keeps its core
+  // ahead of spinners that only just crossed zero.
+  auto it = dq.begin();
+  while (it != dq.end()) {
+    const CreditPrio other = effective_prio(**it);
+    if (other > prio) break;
+    if (other == prio && (*it)->sched().credits < credits - 30.0) break;
+    ++it;
+  }
+  dq.insert(it, &v);
+}
+
+bool CreditScheduler::remove_from_queue(Vcpu& v) {
+  for (auto& dq : queues_) {
+    auto it = std::find(dq.begin(), dq.end(), &v);
+    if (it != dq.end()) {
+      dq.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+int CreditScheduler::siblings_in_queue(const Vcpu& v, int q) const {
+  int count = 0;
+  for (const Vcpu* w : queues_[static_cast<std::size_t>(q)]) {
+    if (&w->vm() == &v.vm()) ++count;
+  }
+  const Pcpu& p = *node_->pcpus()[static_cast<std::size_t>(q)];
+  if (p.current() != nullptr && &p.current()->vm() == &v.vm()) ++count;
+  return count;
+}
+
+int CreditScheduler::place(Vcpu& v) {
+  if (v.sched().pinned.valid()) {
+    return engine().platform().pcpu(v.sched().pinned).index_in_node();
+  }
+  const int n = static_cast<int>(queues_.size());
+  if (opts_.placement == Placement::kAffinity) {
+    // Xen does not balance siblings: initial placement is effectively
+    // arbitrary; we draw uniformly.
+    return static_cast<int>(rng_.uniform_int(0, n - 1));
+  }
+  // Balance Scheduling: fewest same-VM siblings, then shortest queue.
+  int best = 0;
+  auto key = [&](int q) {
+    return std::pair<int, std::size_t>(
+        siblings_in_queue(v, q), queues_[static_cast<std::size_t>(q)].size());
+  };
+  for (int q = 1; q < n; ++q) {
+    if (key(q) < key(best)) best = q;
+  }
+  return best;
+}
+
+void CreditScheduler::vcpu_started(Vcpu& v) {
+  v.sched().credits = 0.0;
+  const int q = place(v);
+  v.sched().queue = node_->pcpus()[static_cast<std::size_t>(q)]->id();
+  enqueue(v);
+}
+
+void CreditScheduler::on_wake(Vcpu& v) {
+  assert(v.runnable());
+  // Xen grants BOOST to wakes of VCPUs that have not over-consumed.
+  v.sched().boosted = v.sched().credits >= 0.0;
+  rebalance_if_stacked(v);
+  enqueue(v);
+}
+
+void CreditScheduler::on_block(Vcpu& /*v*/) {}
+
+void CreditScheduler::on_deschedule(Vcpu& v) {
+  assert(v.runnable());
+  rebalance_if_stacked(v);
+  enqueue(v);
+}
+
+void CreditScheduler::rebalance_if_stacked(Vcpu& v) {
+  if (opts_.placement != Placement::kBalance) return;
+  if (v.sched().pinned.valid()) return;  // hard affinity wins
+  // Balance Scheduling only intervenes when the sibling-disjoint invariant
+  // is violated; otherwise it preserves cache affinity like plain credit.
+  const int cur = static_cast<int>(
+      engine().platform().pcpu(v.sched().queue).index_in_node());
+  if (siblings_in_queue(v, cur) == 0) return;
+  const int q = place(v);
+  v.sched().queue = node_->pcpus()[static_cast<std::size_t>(q)]->id();
+}
+
+void CreditScheduler::on_exit(Vcpu& /*v*/) {}
+
+Vcpu* CreditScheduler::pick_next(Pcpu& p) {
+  const int self = p.index_in_node();
+  auto& own = queues_[static_cast<std::size_t>(self)];
+
+  // Xen's csched_load_balance: when the local candidate is not top
+  // priority, steal a higher-priority VCPU from a sibling queue.  This is
+  // what keeps weight-fairness across unevenly loaded run queues (starved
+  // VCPUs accumulate credits, turn UNDER, and get pulled over).
+  const CreditPrio own_prio = own.empty() || is_parked(*own.front())
+                                  ? CreditPrio::kParked
+                                  : effective_prio(*own.front());
+  if (opts_.work_stealing && own_prio != CreditPrio::kBoost) {
+    const int n = static_cast<int>(queues_.size());
+    int best_q = -1;
+    CreditPrio best_prio = own_prio;
+    for (int off = 1; off < n; ++off) {
+      const int q = (self + off) % n;
+      const auto& dq = queues_[static_cast<std::size_t>(q)];
+      if (dq.empty()) continue;
+      Vcpu* cand = dq.front();
+      if (cand->sched().pinned.valid()) continue;  // cannot migrate
+      const CreditPrio prio = effective_prio(*cand);
+      if (prio == CreditPrio::kParked) continue;
+      if (prio < best_prio) {
+        best_prio = prio;
+        best_q = q;
+        if (prio == CreditPrio::kBoost) break;
+      }
+    }
+    if (best_q >= 0) {
+      auto& dq = queues_[static_cast<std::size_t>(best_q)];
+      Vcpu* v = dq.front();
+      dq.pop_front();
+      v->sched().boosted = false;
+      v->sched().queue = p.id();  // migrate to the stealing queue
+      return v;
+    }
+  }
+  if (own.empty() || is_parked(*own.front())) return nullptr;
+  Vcpu* v = own.front();
+  own.pop_front();
+  v->sched().boosted = false;  // BOOST is consumed by the dispatch
+  return v;
+}
+
+bool CreditScheduler::is_parked(const Vcpu& v) const {
+  return effective_prio(v) == CreditPrio::kParked;
+}
+
+sim::SimTime CreditScheduler::slice_for(const Vcpu& v) const {
+  return v.vm().time_slice();
+}
+
+void CreditScheduler::charge(Vcpu& v, sim::SimTime run) {
+  const auto& mp = engine().params();
+  const double debit =
+      static_cast<double>(run) * mp.credits_per_pcpu_per_period /
+      static_cast<double>(mp.accounting_period);
+  v.sched().credits =
+      std::max(v.sched().credits - debit, -mp.credit_clip);
+}
+
+Pcpu* CreditScheduler::wake_preemption_target(Vcpu& v) {
+  if (!v.sched().boosted) return nullptr;
+  Pcpu& p = engine().platform().pcpu(v.sched().queue);
+  if (p.idle()) return nullptr;
+  if (effective_prio(*p.current()) == CreditPrio::kBoost) return nullptr;
+  return &p;
+}
+
+void CreditScheduler::refill_credits() {
+  const auto& mp = engine().params();
+  const double pool = mp.credits_per_pcpu_per_period *
+                      static_cast<double>(node_->pcpus().size());
+  // Weight-proportional distribution over VMs with live VCPUs.
+  double weight_sum = 0.0;
+  for (const auto& vm : node_->vms()) {
+    for (const auto& v : vm->vcpus()) {
+      if (v->state() != VcpuState::kDone) {
+        weight_sum += static_cast<double>(vm->weight());
+        break;
+      }
+    }
+  }
+  if (weight_sum <= 0.0) return;
+  for (const auto& vm : node_->vms()) {
+    std::vector<Vcpu*> live;
+    for (const auto& v : vm->vcpus()) {
+      if (v->state() != VcpuState::kDone) live.push_back(v.get());
+    }
+    if (live.empty()) continue;
+    double share = pool * static_cast<double>(vm->weight()) / weight_sum;
+    if (vm->cap_percent() > 0) {
+      // Cap = percent of one PCPU per accounting period.
+      share = std::min(share, mp.credits_per_pcpu_per_period *
+                                  static_cast<double>(vm->cap_percent()) /
+                                  100.0);
+    }
+    const double per_vcpu = share / static_cast<double>(live.size());
+    for (Vcpu* v : live) {
+      v->sched().credits =
+          std::clamp(v->sched().credits + per_vcpu, -mp.credit_clip,
+                     mp.credit_clip);
+    }
+  }
+  resort_queues();
+  // Parked VCPUs may have just been unparked: give idle PCPUs a chance.
+  engine().kick_idle_pcpus(*node_);
+}
+
+void CreditScheduler::resort_queues() {
+  for (auto& dq : queues_) {
+    std::stable_sort(dq.begin(), dq.end(), [this](Vcpu* a, Vcpu* b) {
+      return effective_prio(*a) < effective_prio(*b);
+    });
+  }
+}
+
+}  // namespace atcsim::sched

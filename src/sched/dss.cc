@@ -1,0 +1,36 @@
+#include "sched/dss.h"
+
+#include <algorithm>
+
+#include "virt/platform.h"
+
+namespace atcsim::sched {
+
+using sim::SimTime;
+
+DssController::DssController(virt::Node& node,
+                             const sync::PeriodMonitor& monitor,
+                             DssOptions opts)
+    : node_(&node), monitor_(&monitor), opts_(opts),
+      smoothed_rate_(node.vms().size(), 0.0) {}
+
+void DssController::on_period() {
+  const auto& mp = node_->platform().params();
+  const double period_s = sim::to_seconds(mp.accounting_period);
+  for (std::size_t i = 0; i < node_->vms().size(); ++i) {
+    virt::Vm& vm = *node_->vms()[i];
+    if (vm.is_dom0()) continue;
+    const double rate =
+        static_cast<double>(monitor_->last(vm.id()).io_events) / period_s;
+    smoothed_rate_[i] = opts_.smoothing * smoothed_rate_[i] +
+                        (1.0 - opts_.smoothing) * rate;
+    SimTime slice = mp.default_time_slice;
+    if (smoothed_rate_[i] >= opts_.idle_rate_hz) {
+      slice = sim::from_millis(opts_.rate_constant_ms_hz / smoothed_rate_[i]);
+      slice = std::clamp(slice, opts_.min_slice, mp.default_time_slice);
+    }
+    vm.set_time_slice(slice);
+  }
+}
+
+}  // namespace atcsim::sched

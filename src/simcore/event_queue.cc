@@ -1,0 +1,47 @@
+#include "simcore/event_queue.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace atcsim::sim {
+
+EventId EventQueue::schedule(SimTime when, Callback fn) {
+  assert(fn && "scheduled callback must be callable");
+  const std::uint64_t seq = next_seq_++;
+  heap_.push_back(Entry{when, seq, std::move(fn)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+  live_.insert(seq);
+  return EventId{seq};
+}
+
+bool EventQueue::cancel(EventId id) {
+  if (!id.valid()) return false;
+  // An event is live iff its seq is still in `live_`; cancelling simply
+  // removes it, and pop() skips heap entries whose seq is no longer live.
+  return live_.erase(id.seq) > 0;
+}
+
+void EventQueue::drop_dead_head() const {
+  while (!heap_.empty() && !live_.contains(heap_.front().seq)) {
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    heap_.pop_back();
+  }
+}
+
+SimTime EventQueue::next_time() const {
+  drop_dead_head();
+  return heap_.empty() ? kTimeNever : heap_.front().time;
+}
+
+EventQueue::Popped EventQueue::pop() {
+  drop_dead_head();
+  assert(!heap_.empty() && "pop() on empty EventQueue");
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  Entry e = std::move(heap_.back());
+  heap_.pop_back();
+  live_.erase(e.seq);
+  return Popped{e.time, std::move(e.fn)};
+}
+
+}  // namespace atcsim::sim

@@ -1,0 +1,76 @@
+// Cancellable discrete-event queue.
+//
+// A binary min-heap keyed by (time, sequence).  Cancellation is lazy: a
+// cancelled entry stays in the heap and is skipped when popped, which keeps
+// schedule/cancel O(log n)/O(1).  Ties in time are broken by insertion order
+// so runs are deterministic.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <unordered_set>
+#include <vector>
+
+#include "simcore/time.h"
+
+namespace atcsim::sim {
+
+/// Opaque handle identifying a scheduled event; used only for cancellation.
+struct EventId {
+  std::uint64_t seq = 0;
+
+  bool valid() const { return seq != 0; }
+  friend bool operator==(EventId a, EventId b) { return a.seq == b.seq; }
+};
+
+/// Min-heap of timed callbacks.
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedules `fn` to run at absolute time `when`.  `when` must not be in
+  /// the past relative to the last popped event.
+  EventId schedule(SimTime when, Callback fn);
+
+  /// Cancels a previously scheduled event.  Returns false when the event has
+  /// already fired or was already cancelled.
+  bool cancel(EventId id);
+
+  /// True when no live (non-cancelled) events remain.
+  bool empty() const { return live_.empty(); }
+
+  std::size_t size() const { return live_.size(); }
+
+  /// Time of the earliest live event, or kTimeNever when empty.
+  SimTime next_time() const;
+
+  /// Pops and returns the earliest live event.  Precondition: !empty().
+  struct Popped {
+    SimTime time;
+    Callback fn;
+  };
+  Popped pop();
+
+ private:
+  struct Entry {
+    SimTime time;
+    std::uint64_t seq;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  void drop_dead_head() const;
+
+  // `heap_` is mutable so const accessors can prune cancelled heads.
+  mutable std::vector<Entry> heap_;
+  std::unordered_set<std::uint64_t> live_;
+  std::uint64_t next_seq_ = 1;
+};
+
+}  // namespace atcsim::sim

@@ -1,0 +1,36 @@
+// Minimal leveled logging.  Off by default so simulations stay fast; benches
+// and examples can raise the level for tracing.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace atcsim::sim {
+
+enum class LogLevel : int { kNone = 0, kError = 1, kInfo = 2, kDebug = 3 };
+
+/// Process-global log level (simulations are single-threaded; sweeps set the
+/// level once before spawning workers).
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+namespace detail {
+void log_line(LogLevel level, const std::string& msg);
+std::string format_args(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+}  // namespace detail
+
+}  // namespace atcsim::sim
+
+#define ATCSIM_LOG(level, ...)                                          \
+  do {                                                                  \
+    if (static_cast<int>(level) <=                                      \
+        static_cast<int>(::atcsim::sim::log_level())) {                 \
+      ::atcsim::sim::detail::log_line(                                  \
+          level, ::atcsim::sim::detail::format_args(__VA_ARGS__));      \
+    }                                                                   \
+  } while (0)
+
+#define ATCSIM_ERROR(...) ATCSIM_LOG(::atcsim::sim::LogLevel::kError, __VA_ARGS__)
+#define ATCSIM_INFO(...) ATCSIM_LOG(::atcsim::sim::LogLevel::kInfo, __VA_ARGS__)
+#define ATCSIM_DEBUG(...) ATCSIM_LOG(::atcsim::sim::LogLevel::kDebug, __VA_ARGS__)

@@ -1,0 +1,53 @@
+// Host-side parallelism for parameter sweeps.
+//
+// Each simulation instance is strictly single-threaded; experiments run many
+// independent instances (one per configuration / repetition).  parallel_for
+// fans those out over a pool of worker threads.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace atcsim::sim {
+
+/// Fixed-size thread pool.  Tasks must not throw (simulation code reports
+/// failures through results, not exceptions).
+class ThreadPool {
+ public:
+  /// `threads == 0` selects std::thread::hardware_concurrency() (min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  void submit(std::function<void()> task);
+
+  /// Blocks until all submitted tasks have completed.
+  void wait_idle();
+
+  std::size_t thread_count() const { return workers_.size(); }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::size_t in_flight_ = 0;
+  bool shutdown_ = false;
+};
+
+/// Runs body(i) for i in [0, n) across the pool and waits for completion.
+/// Iterations must be independent.
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
+                  std::size_t threads = 0);
+
+}  // namespace atcsim::sim

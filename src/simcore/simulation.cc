@@ -1,0 +1,37 @@
+#include "simcore/simulation.h"
+
+#include <cassert>
+
+namespace atcsim::sim {
+
+std::uint64_t Simulation::run_until(SimTime deadline) {
+  std::uint64_t executed = 0;
+  stop_requested_ = false;
+  while (!stop_requested_ && !queue_.empty() &&
+         queue_.next_time() <= deadline) {
+    EventQueue::Popped ev = queue_.pop();
+    assert(ev.time >= now_ && "event scheduled in the past");
+    now_ = ev.time;
+    ev.fn();
+    ++executed;
+  }
+  if (now_ < deadline) now_ = deadline;
+  events_executed_ += executed;
+  return executed;
+}
+
+std::uint64_t Simulation::run() {
+  std::uint64_t executed = 0;
+  stop_requested_ = false;
+  while (!stop_requested_ && !queue_.empty()) {
+    EventQueue::Popped ev = queue_.pop();
+    assert(ev.time >= now_ && "event scheduled in the past");
+    now_ = ev.time;
+    ev.fn();
+    ++executed;
+  }
+  events_executed_ += executed;
+  return executed;
+}
+
+}  // namespace atcsim::sim

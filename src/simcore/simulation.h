@@ -1,0 +1,59 @@
+// Simulation driver: owns the clock and the event queue.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "simcore/event_queue.h"
+#include "simcore/time.h"
+
+namespace atcsim::sim {
+
+/// Single-threaded discrete-event simulation.  All model components hold a
+/// reference to one Simulation and schedule work through it.  Runs are
+/// deterministic: same model + same seed => identical event order.
+class Simulation {
+ public:
+  Simulation() = default;
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  /// Current simulated time.
+  SimTime now() const { return now_; }
+
+  /// Schedules `fn` to run after `delay` (>= 0) from now.
+  EventId call_in(SimTime delay, EventQueue::Callback fn) {
+    return queue_.schedule(now_ + delay, std::move(fn));
+  }
+
+  /// Schedules `fn` at absolute time `when` (>= now()).
+  EventId call_at(SimTime when, EventQueue::Callback fn) {
+    return queue_.schedule(when, std::move(fn));
+  }
+
+  bool cancel(EventId id) { return queue_.cancel(id); }
+
+  /// Runs events until the queue drains or `deadline` is reached; the clock
+  /// is advanced to the deadline when events remain.  Returns the number of
+  /// events executed.
+  std::uint64_t run_until(SimTime deadline);
+
+  /// Runs until the event queue is empty.
+  std::uint64_t run();
+
+  /// Requests that the run loop stop after the current event.
+  void stop() { stop_requested_ = true; }
+
+  /// Total events executed since construction.
+  std::uint64_t events_executed() const { return events_executed_; }
+
+  std::size_t pending_events() const { return queue_.size(); }
+
+ private:
+  EventQueue queue_;
+  SimTime now_ = 0;
+  std::uint64_t events_executed_ = 0;
+  bool stop_requested_ = false;
+};
+
+}  // namespace atcsim::sim

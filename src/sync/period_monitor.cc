@@ -1,0 +1,54 @@
+#include "sync/period_monitor.h"
+
+#include <cassert>
+
+namespace atcsim::sync {
+
+using sim::SimTime;
+
+PeriodMonitor::PeriodMonitor(virt::Platform& platform)
+    : platform_(&platform) {}
+
+void PeriodMonitor::start() {
+  assert(!started_);
+  started_ = true;
+  last_.assign(platform_->vm_count(), {});
+  const SimTime period = platform_->params().accounting_period;
+  struct Rearm {
+    PeriodMonitor* self;
+    SimTime period;
+    void operator()() const {
+      self->sample();
+      self->platform_->simulation().call_in(period, *this);
+    }
+  };
+  platform_->simulation().call_in(period, Rearm{this, period});
+}
+
+void PeriodMonitor::sample() {
+  const SimTime now = platform_->simulation().now();
+  for (std::size_t id = 0; id < platform_->vm_count(); ++id) {
+    virt::Vm& vm = platform_->vm(virt::VmId{static_cast<std::int32_t>(id)});
+    virt::Vm::PeriodStats snap = vm.period();
+    // Fold in spins that have not finished yet: a VM whose VCPUs are stuck
+    // mid-episode must not look idle to the controller.
+    for (const auto& v : vm.vcpus()) {
+      if (v->eng().in_spin_episode) {
+        snap.spin_wall += now - v->eng().spin_episode_start;
+        snap.spin_episodes += 1;
+      }
+    }
+    last_[id] = snap;
+    vm.period().reset();
+  }
+  ++periods_;
+  for (const auto& cb : callbacks_) cb(periods_);
+}
+
+sim::SimTime PeriodMonitor::avg_spin_latency(virt::VmId id) const {
+  const auto& s = last_[id.index()];
+  if (s.spin_episodes == 0) return 0;
+  return s.spin_wall / static_cast<SimTime>(s.spin_episodes);
+}
+
+}  // namespace atcsim::sync

@@ -1,0 +1,56 @@
+// Per-scheduling-period monitoring.
+//
+// The paper's monitor samples each VM's average spinlock latency once per
+// VMM scheduling period (30 ms).  PeriodMonitor is the single owner of the
+// per-period accumulators on every Vm: each period it snapshots them,
+// resets them, and notifies subscribers (the ATC controller, the CS gang
+// trigger, the DSS rate estimator, experiment recorders).  A single
+// resetter keeps multiple consumers consistent.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "virt/platform.h"
+
+namespace atcsim::sync {
+
+class PeriodMonitor {
+ public:
+  using Callback = std::function<void(std::uint64_t period_index)>;
+
+  explicit PeriodMonitor(virt::Platform& platform);
+
+  /// Registers a per-period callback.  Subscribe before start().
+  void subscribe(Callback cb) { callbacks_.push_back(std::move(cb)); }
+
+  /// Begins sampling every ModelParams::accounting_period.  All VMs must
+  /// already exist.  Call once, before running the simulation.
+  void start();
+
+  /// Snapshot of `vm`'s accumulators over the last completed period.
+  /// Spin episodes still in flight at the sampling instant are included
+  /// with their latency accrued so far, so a VM stuck in a long spin is
+  /// never misread as idle (see DESIGN.md).
+  const virt::Vm::PeriodStats& last(virt::VmId id) const {
+    return last_[id.index()];
+  }
+
+  /// Average spinlock latency of the VM over the last period (the paper's
+  /// monitored quantity); zero when the VM did not spin at all.
+  sim::SimTime avg_spin_latency(virt::VmId id) const;
+
+  std::uint64_t periods_elapsed() const { return periods_; }
+
+ private:
+  void sample();
+
+  virt::Platform* platform_;
+  std::vector<virt::Vm::PeriodStats> last_;
+  std::vector<Callback> callbacks_;
+  std::uint64_t periods_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace atcsim::sync

@@ -1,0 +1,369 @@
+#include "virt/engine.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "virt/scheduler.h"
+#include "virt/sync_event.h"
+
+namespace atcsim::virt {
+
+using sim::SimTime;
+
+Engine::Engine(sim::Simulation& simulation, Platform& platform)
+    : sim_(&simulation), platform_(&platform) {}
+
+void Engine::start() {
+  assert(!started_ && "Engine::start called twice");
+  started_ = true;
+  for (auto& node : platform_->nodes()) {
+    assert(node->has_scheduler() && "every node needs a scheduler");
+    node->scheduler().attach(*node, *this);
+  }
+  for (auto& node : platform_->nodes()) {
+    for (auto& vm : node->vms()) {
+      for (auto& v : vm->vcpus()) {
+        if (v->workload() != nullptr) {
+          v->set_state(VcpuState::kRunnable);
+          node->scheduler().vcpu_started(*v);
+        }
+      }
+    }
+  }
+  for (auto& node : platform_->nodes()) kick_idle_pcpus(*node);
+}
+
+void Engine::schedule_dispatch(Pcpu& p) {
+  if (p.eng().dispatch_pending) return;
+  p.eng().dispatch_pending = true;
+  Pcpu* pp = &p;
+  sim_->call_in(0, [this, pp] {
+    pp->eng().dispatch_pending = false;
+    dispatch(*pp);
+  });
+}
+
+void Engine::kick_idle_pcpus(Node& node) {
+  for (auto& p : node.pcpus()) {
+    if (p->idle()) schedule_dispatch(*p);
+  }
+}
+
+void Engine::dispatch(Pcpu& p) {
+  if (!p.idle()) return;
+  Vcpu* v = p.node().scheduler().pick_next(p);
+  if (v == nullptr) return;
+  assert(v->runnable() && "picked VCPU must be runnable");
+
+  p.eng().in_dispatch = true;
+  p.set_current(v);
+  v->set_state(VcpuState::kRunning);
+  v->eng().on_pcpu = &p;
+  Vm& vm = v->vm();
+  const ModelParams& mp = params();
+
+  // Context-switch + cache-refill costs.  The direct switch cost and the
+  // refill penalty are both modelled as "debt": CPU time the VCPU must burn
+  // before its compute makes progress.  No debt when the same VCPU resumes
+  // on the same core with nothing in between.
+  const bool polluted = (p.eng().last_resident != v) ||
+                        (v->sched().last_pcpu.valid() &&
+                         v->sched().last_pcpu != p.id());
+  if (polluted) {
+    const double sens = v->workload()->cache_sensitivity();
+    // The VCPU can only lose the cache state it warmed during its previous
+    // stint, so short slices bound the refill cost they cause.
+    const SimTime refill = std::min(
+        static_cast<SimTime>(static_cast<double>(mp.cache_refill_penalty) *
+                             sens),
+        static_cast<SimTime>(static_cast<double>(v->eng().last_stint) *
+                             mp.cache_warm_ratio));
+    v->eng().cache_debt += mp.context_switch_cost + refill;
+    const double refill_frac =
+        sens <= 0.0 ? 0.0
+                    : static_cast<double>(refill) /
+                          static_cast<double>(mp.cache_refill_penalty);
+    const auto misses = static_cast<std::uint64_t>(
+        static_cast<double>(mp.llc_misses_per_refill) * refill_frac);
+    vm.period().ctx_switches += 1;
+    vm.totals().ctx_switches += 1;
+    vm.period().llc_misses += misses;
+    vm.totals().llc_misses += misses;
+    p.totals().switches += 1;
+    ++total_switches_;
+  }
+  v->sched().last_pcpu = p.id();
+  p.eng().last_resident = v;
+  v->mutable_totals().dispatches += 1;
+
+  const SimTime now = sim_->now();
+  const SimTime slice = platform_->rng().jittered(
+      std::max(p.node().scheduler().slice_for(*v), mp.min_time_slice),
+      mp.slice_jitter);
+  p.eng().slice_end = now + slice;
+  Pcpu* pp = &p;
+  p.eng().slice_event = sim_->call_at(p.eng().slice_end,
+                                      [this, pp] { slice_expired(*pp); });
+  v->eng().stint_start = now;
+  v->eng().segment_start = now;
+
+  // VM entry processes pending event-channel notifications (IRQs).
+  drain_mailbox(vm);
+
+  p.eng().in_dispatch = false;
+  p.node().scheduler().on_dispatched(*v, p);
+  run_current(p);
+}
+
+void Engine::run_current(Pcpu& p) {
+  Vcpu* v = p.current();
+  assert(v != nullptr && v->running());
+  const SimTime now = sim_->now();
+  auto& e = v->eng();
+  for (;;) {
+    if (!e.action_valid) {
+      e.action = v->workload()->next(*v);
+      e.action_valid = true;
+      if (e.action.kind == Action::Kind::kCompute) {
+        e.compute_left = e.action.duration;
+      }
+    }
+    switch (e.action.kind) {
+      case Action::Kind::kCompute: {
+        const SimTime need = e.cache_debt + e.compute_left;
+        if (need <= 0) {
+          e.action_valid = false;
+          continue;
+        }
+        e.segment_start = now;
+        const SimTime end = now + need;
+        if (end < p.eng().slice_end) {
+          Pcpu* pp = &p;
+          e.segment_event =
+              sim_->call_at(end, [this, pp, v] { compute_finished(*pp, *v); });
+        }
+        return;  // compute until segment end or slice expiry
+      }
+      case Action::Kind::kSpinWait: {
+        if (!e.in_spin_episode) {
+          e.in_spin_episode = true;
+          e.spin_episode_start = now;
+        }
+        SyncEvent* ev = e.action.event;
+        if (ev->signalled()) {
+          end_spin_episode(*v);
+          e.action_valid = false;
+          continue;
+        }
+        if (!e.wait_registered) {
+          ev->add_waiter(*v);
+          e.wait_registered = true;
+        }
+        e.segment_start = now;
+        return;  // burn CPU until signal or slice expiry
+      }
+      case Action::Kind::kBlockWait: {
+        SyncEvent* ev = e.action.event;
+        if (ev->signalled()) {
+          e.wait_registered = false;
+          e.action_valid = false;
+          continue;
+        }
+        if (!e.wait_registered) {
+          ev->add_waiter(*v);
+          e.wait_registered = true;
+        }
+        leave_cpu(p, LeaveReason::kBlock);
+        return;
+      }
+      case Action::Kind::kExit:
+        leave_cpu(p, LeaveReason::kExit);
+        return;
+    }
+  }
+}
+
+void Engine::compute_finished(Pcpu& p, Vcpu& v) {
+  assert(p.current() == &v);
+  v.eng().segment_event = sim::EventId{};
+  account_segment(p, v);
+  assert(v.eng().cache_debt <= 0 && v.eng().compute_left <= 0);
+  v.eng().action_valid = false;
+  run_current(p);
+}
+
+void Engine::slice_expired(Pcpu& p) {
+  assert(!p.idle() && "slice expiry on an idle PCPU");
+  leave_cpu(p, LeaveReason::kSliceEnd);
+}
+
+void Engine::account_segment(Pcpu& /*p*/, Vcpu& v) {
+  const SimTime now = sim_->now();
+  auto& e = v.eng();
+  const SimTime elapsed = now - e.segment_start;
+  e.segment_start = now;
+  if (elapsed <= 0 || !e.action_valid) return;
+  Vm& vm = v.vm();
+  if (e.action.kind == Action::Kind::kCompute) {
+    const SimTime pay = std::min(e.cache_debt, elapsed);
+    e.cache_debt -= pay;
+    e.compute_left -= elapsed - pay;
+    if (e.compute_left < 0) e.compute_left = 0;
+  } else if (e.action.kind == Action::Kind::kSpinWait) {
+    v.mutable_totals().spin_cpu += elapsed;
+    vm.period().spin_cpu += elapsed;
+    vm.totals().spin_cpu += elapsed;
+  }
+}
+
+void Engine::leave_cpu(Pcpu& p, LeaveReason reason) {
+  Vcpu* v = p.current();
+  assert(v != nullptr);
+  account_segment(p, *v);
+  auto& e = v->eng();
+  if (e.segment_event.valid()) {
+    sim_->cancel(e.segment_event);
+    e.segment_event = sim::EventId{};
+  }
+  if (p.eng().slice_event.valid()) {
+    sim_->cancel(p.eng().slice_event);  // no-op when the event just fired
+    p.eng().slice_event = sim::EventId{};
+  }
+  const SimTime now = sim_->now();
+  const SimTime stint = now - e.stint_start;
+  e.last_stint = stint;
+  Vm& vm = v->vm();
+  vm.period().run_time += stint;
+  vm.totals().run_time += stint;
+  v->mutable_totals().run += stint;
+  p.totals().busy += stint;
+  p.node().scheduler().charge(*v, stint);
+  e.on_pcpu = nullptr;
+  p.set_current(nullptr);
+  switch (reason) {
+    case LeaveReason::kSliceEnd:
+    case LeaveReason::kPreempt:
+      v->set_state(VcpuState::kRunnable);
+      p.node().scheduler().on_deschedule(*v);
+      break;
+    case LeaveReason::kBlock:
+      v->set_state(VcpuState::kBlocked);
+      p.node().scheduler().on_block(*v);
+      break;
+    case LeaveReason::kExit:
+      v->set_state(VcpuState::kDone);
+      p.node().scheduler().on_exit(*v);
+      break;
+  }
+  schedule_dispatch(p);
+}
+
+void Engine::end_spin_episode(Vcpu& v) {
+  auto& e = v.eng();
+  if (!e.in_spin_episode) return;
+  const SimTime wall = sim_->now() - e.spin_episode_start;
+  e.in_spin_episode = false;
+  e.wait_registered = false;
+  Vm& vm = v.vm();
+  vm.period().spin_wall += wall;
+  vm.period().spin_episodes += 1;
+  vm.totals().spin_wall += wall;
+  vm.totals().spin_episodes += 1;
+}
+
+void Engine::deposit(Vm& vm, std::function<void()> handler) {
+  vm.period().io_events += 1;
+  vm.totals().io_events += 1;
+  if (vm.any_running()) {
+    // IRQ into a running guest: handled immediately.
+    handler();
+    return;
+  }
+  vm.mailbox().push_back(std::move(handler));
+  // Event-channel interrupt: wake a halted VCPU so the VM gets scheduled.
+  if (Vcpu* b = vm.first_blocked()) wake(*b);
+}
+
+void Engine::drain_mailbox(Vm& vm) {
+  while (!vm.mailbox().empty()) {
+    auto handlers = std::move(vm.mailbox());
+    vm.mailbox().clear();
+    for (auto& h : handlers) h();
+  }
+}
+
+void Engine::wake(Vcpu& v) {
+  if (v.state() != VcpuState::kBlocked) return;
+  v.set_state(VcpuState::kRunnable);
+  v.vm().period().wakeups += 1;
+  Node& node = v.vm().node();
+  Scheduler& s = node.scheduler();
+  s.on_wake(v);
+  kick_idle_pcpus(node);
+  if (params().wake_preemption) {
+    if (Pcpu* target = s.wake_preemption_target(v)) {
+      if (target->idle()) {
+        schedule_dispatch(*target);
+      } else if (!target->eng().in_dispatch) {
+        request_resched(*target);
+      }
+    }
+  }
+}
+
+void Engine::request_resched(Pcpu& p) {
+  if (p.eng().in_dispatch) return;
+  if (p.idle()) {
+    schedule_dispatch(p);
+    return;
+  }
+  // Ratelimit: guarantee a minimum stint before preemption, or gang
+  // dispatch at synchronized slice boundaries preempts victims with zero
+  // progress forever (Xen's sched_ratelimit exists for the same reason).
+  Vcpu* v = p.current();
+  const SimTime min_run = params().preempt_min_run;
+  const SimTime earliest = v->eng().stint_start + min_run;
+  if (sim_->now() < earliest) {
+    if (p.eng().resched_pending) return;
+    p.eng().resched_pending = true;
+    Pcpu* pp = &p;
+    sim_->call_at(earliest, [this, pp] {
+      pp->eng().resched_pending = false;
+      if (!pp->idle() && !pp->eng().in_dispatch) request_resched(*pp);
+    });
+    return;
+  }
+  leave_cpu(p, LeaveReason::kPreempt);
+}
+
+void Engine::on_signalled(const std::vector<Vcpu*>& waiters) {
+  for (Vcpu* v : waiters) {
+    auto& e = v->eng();
+    e.wait_registered = false;
+    switch (v->state()) {
+      case VcpuState::kBlocked:
+        wake(*v);
+        break;
+      case VcpuState::kRunning: {
+        Pcpu* p = e.on_pcpu;
+        assert(p != nullptr);
+        if (p->eng().in_dispatch) break;  // dispatch's run_current handles it
+        if (e.action_valid && e.action.kind == Action::Kind::kSpinWait) {
+          account_segment(*p, *v);
+          end_spin_episode(*v);
+          e.action_valid = false;
+          run_current(*p);
+        }
+        break;
+      }
+      case VcpuState::kRunnable:
+        // Descheduled spinner: it observes the flag when next dispatched;
+        // the wall latency keeps accruing, exactly as in Fig. 3.
+        break;
+      case VcpuState::kDone:
+        break;
+    }
+  }
+}
+
+}  // namespace atcsim::virt

@@ -1,0 +1,75 @@
+// Execution engine: drives VCPUs over PCPUs under the node schedulers.
+//
+// The engine owns every VCPU state transition.  Schedulers decide *who* runs
+// and for *how long*; the engine executes guest programs, accounts CPU/spin
+// time, applies context-switch and cache-refill costs, delivers event-channel
+// mail, and services SyncEvent signals.
+#pragma once
+
+#include <functional>
+
+#include "simcore/simulation.h"
+#include "virt/params.h"
+#include "virt/platform.h"
+
+namespace atcsim::virt {
+
+class SyncEvent;
+
+class Engine {
+ public:
+  Engine(sim::Simulation& simulation, Platform& platform);
+
+  /// Enqueues every VCPU that has a workload and begins scheduling.
+  /// Call exactly once, before running the simulation.
+  void start();
+
+  sim::Simulation& simulation() { return *sim_; }
+  Platform& platform() { return *platform_; }
+  const ModelParams& params() const { return platform_->params(); }
+
+  // --- services for workloads / net / schedulers -------------------------
+
+  /// Delivers an event-channel notification to `vm`.  If some VCPU of the
+  /// VM is on a PCPU the handler runs immediately (IRQ into a running
+  /// guest); otherwise it is queued and a blocked VCPU (if any) is woken,
+  /// and the mailbox drains when the VM is next dispatched.  This is the
+  /// "wait for the VM to be scheduled" overhead of Fig. 4.
+  void deposit(Vm& vm, std::function<void()> handler);
+
+  /// Blocked -> runnable transition (SyncEvent signal or IRQ).
+  void wake(Vcpu& v);
+
+  /// Ends the current slice of `p` immediately and re-runs scheduling
+  /// (gang dispatch / wake preemption).  No-op while `p` is mid-dispatch.
+  void request_resched(Pcpu& p);
+
+  /// Attempts to dispatch work onto any idle PCPU of `node`.
+  void kick_idle_pcpus(Node& node);
+
+  /// SyncEvent plumbing: called by SyncEvent::signal with its waiter list.
+  void on_signalled(const std::vector<Vcpu*>& waiters);
+
+  /// Total context switches executed platform-wide.
+  std::uint64_t total_switches() const { return total_switches_; }
+
+ private:
+  void dispatch(Pcpu& p);
+  void run_current(Pcpu& p);
+  void compute_finished(Pcpu& p, Vcpu& v);
+  void slice_expired(Pcpu& p);
+  enum class LeaveReason { kSliceEnd, kBlock, kExit, kPreempt };
+  void leave_cpu(Pcpu& p, LeaveReason reason);
+  /// Folds the elapsed time of the current on-CPU segment into accounting.
+  void account_segment(Pcpu& p, Vcpu& v);
+  void end_spin_episode(Vcpu& v);
+  void drain_mailbox(Vm& vm);
+  void schedule_dispatch(Pcpu& p);
+
+  sim::Simulation* sim_;
+  Platform* platform_;
+  bool started_ = false;
+  std::uint64_t total_switches_ = 0;
+};
+
+}  // namespace atcsim::virt

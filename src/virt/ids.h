@@ -1,0 +1,41 @@
+// Strong identifier types for platform entities.
+//
+// All IDs are global (platform-wide) dense indices, so they double as vector
+// indices in the owning containers.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace atcsim::virt {
+
+template <class Tag>
+struct Id {
+  std::int32_t value = -1;
+
+  constexpr Id() = default;
+  constexpr explicit Id(std::int32_t v) : value(v) {}
+
+  constexpr bool valid() const { return value >= 0; }
+  constexpr std::size_t index() const { return static_cast<std::size_t>(value); }
+
+  friend constexpr bool operator==(Id a, Id b) { return a.value == b.value; }
+  friend constexpr bool operator!=(Id a, Id b) { return a.value != b.value; }
+  friend constexpr bool operator<(Id a, Id b) { return a.value < b.value; }
+};
+
+using NodeId = Id<struct NodeIdTag>;
+using PcpuId = Id<struct PcpuIdTag>;
+using VmId = Id<struct VmIdTag>;
+using VcpuId = Id<struct VcpuIdTag>;
+
+}  // namespace atcsim::virt
+
+namespace std {
+template <class Tag>
+struct hash<atcsim::virt::Id<Tag>> {
+  size_t operator()(atcsim::virt::Id<Tag> id) const noexcept {
+    return static_cast<size_t>(id.value);
+  }
+};
+}  // namespace std

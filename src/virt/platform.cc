@@ -1,0 +1,65 @@
+#include "virt/platform.h"
+
+#include <cassert>
+
+#include "virt/engine.h"
+#include "virt/scheduler.h"
+
+namespace atcsim::virt {
+
+Platform::Platform(sim::Simulation& simulation, PlatformConfig config)
+    : sim_(&simulation), config_(config), rng_(config.seed) {
+  assert(config_.nodes > 0 && config_.pcpus_per_node > 0);
+  nodes_.reserve(static_cast<std::size_t>(config_.nodes));
+  for (int n = 0; n < config_.nodes; ++n) {
+    auto node = std::make_unique<Node>(NodeId{n}, *this, n);
+    for (int c = 0; c < config_.pcpus_per_node; ++c) {
+      auto pcpu = std::make_unique<Pcpu>(
+          PcpuId{static_cast<std::int32_t>(pcpus_.size())}, *node, c);
+      pcpus_.push_back(pcpu.get());
+      node->pcpus().push_back(std::move(pcpu));
+    }
+    nodes_.push_back(std::move(node));
+  }
+  engine_ = std::make_unique<Engine>(simulation, *this);
+  // Every node gets a driver domain; net/disk backends attach workloads.
+  for (auto& node : nodes_) {
+    Vm& dom0 = create_vm(node->id(), VmType::kDom0,
+                         "dom0-n" + std::to_string(node->index()),
+                         config_.dom0_vcpus);
+    node->set_dom0(&dom0);
+  }
+}
+
+Platform::~Platform() = default;
+
+Vm& Platform::create_vm(NodeId node_id, VmType type, const std::string& name,
+                        int vcpus) {
+  assert(node_id.valid() && node_id.index() < nodes_.size());
+  Node& node = *nodes_[node_id.index()];
+  auto vm = std::make_unique<Vm>(VmId{static_cast<std::int32_t>(vms_.size())},
+                                 node, type, name);
+  vm->set_time_slice(config_.params.default_time_slice);
+  for (int i = 0; i < vcpus; ++i) {
+    Vcpu& v = vm->add_vcpu(VcpuId{static_cast<std::int32_t>(vcpus_.size())});
+    vcpus_.push_back(&v);
+  }
+  vms_.push_back(vm.get());
+  node.vms().push_back(std::move(vm));
+  return *vms_.back();
+}
+
+void Platform::set_scheduler(NodeId node_id, std::unique_ptr<Scheduler> sched) {
+  assert(node_id.valid() && node_id.index() < nodes_.size());
+  nodes_[node_id.index()]->set_scheduler(std::move(sched));
+}
+
+std::vector<Vm*> Platform::guest_vms() const {
+  std::vector<Vm*> out;
+  for (Vm* vm : vms_) {
+    if (!vm->is_dom0()) out.push_back(vm);
+  }
+  return out;
+}
+
+}  // namespace atcsim::virt

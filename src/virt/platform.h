@@ -1,0 +1,73 @@
+// Platform: the whole simulated cluster (nodes, VMs, VCPUs) plus the engine.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "simcore/rng.h"
+#include "simcore/simulation.h"
+#include "virt/ids.h"
+#include "virt/node.h"
+#include "virt/params.h"
+
+namespace atcsim::virt {
+
+class Engine;
+
+struct PlatformConfig {
+  int nodes = 1;
+  int pcpus_per_node = 8;
+  int dom0_vcpus = 1;
+  ModelParams params;
+  std::uint64_t seed = 1;
+};
+
+class Platform {
+ public:
+  Platform(sim::Simulation& simulation, PlatformConfig config);
+  ~Platform();
+
+  Platform(const Platform&) = delete;
+  Platform& operator=(const Platform&) = delete;
+
+  sim::Simulation& simulation() { return *sim_; }
+  const ModelParams& params() const { return config_.params; }
+  const PlatformConfig& config() const { return config_; }
+  sim::Rng& rng() { return rng_; }
+
+  /// Creates a guest VM on `node` with `vcpus` VCPUs.  Workloads must be
+  /// attached to each VCPU before Engine::start().
+  Vm& create_vm(NodeId node, VmType type, const std::string& name, int vcpus);
+
+  /// Installs the per-node scheduler (same factory result on every node in
+  /// every experiment here, but the API is per node as in Xen).
+  void set_scheduler(NodeId node, std::unique_ptr<Scheduler> sched);
+
+  Engine& engine() { return *engine_; }
+
+  std::vector<std::unique_ptr<Node>>& nodes() { return nodes_; }
+  Node& node(NodeId id) { return *nodes_[id.index()]; }
+  Vm& vm(VmId id) { return *vms_[id.index()]; }
+  Vcpu& vcpu(VcpuId id) { return *vcpus_[id.index()]; }
+  Pcpu& pcpu(PcpuId id) { return *pcpus_[id.index()]; }
+  std::size_t vm_count() const { return vms_.size(); }
+  std::size_t vcpu_count() const { return vcpus_.size(); }
+
+  /// All guest (non-dom0) VMs, platform-wide, in id order.
+  std::vector<Vm*> guest_vms() const;
+
+ private:
+  sim::Simulation* sim_;
+  PlatformConfig config_;
+  sim::Rng rng_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  // Flat id-indexed views (non-owning; owners are the nodes).
+  std::vector<Vm*> vms_;
+  std::vector<Vcpu*> vcpus_;
+  std::vector<Pcpu*> pcpus_;
+  std::unique_ptr<Engine> engine_;
+};
+
+}  // namespace atcsim::virt

@@ -1,0 +1,22 @@
+#include "virt/sync_event.h"
+
+#include <algorithm>
+
+#include "virt/engine.h"
+
+namespace atcsim::virt {
+
+void SyncEvent::signal() {
+  if (signalled_) return;
+  signalled_ = true;
+  std::vector<Vcpu*> waiters = std::move(waiters_);
+  waiters_.clear();
+  engine_.on_signalled(waiters);
+}
+
+void SyncEvent::remove_waiter(const Vcpu& v) {
+  waiters_.erase(std::remove(waiters_.begin(), waiters_.end(), &v),
+                 waiters_.end());
+}
+
+}  // namespace atcsim::virt

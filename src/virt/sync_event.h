@@ -1,0 +1,44 @@
+// One-shot synchronization condition.
+//
+// Guests wait on a SyncEvent either spinning (kSpinWait: the VCPU stays
+// runnable and burns CPU — the user-space MPI busy-poll model) or blocked
+// (kBlockWait: the VCPU halts and is woken with BOOST — the kernel/IRQ
+// model).  A SyncEvent is signalled at most once; reusable constructs
+// (barriers) allocate one per generation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "simcore/time.h"
+
+namespace atcsim::virt {
+
+class Engine;
+class Vcpu;
+
+class SyncEvent {
+ public:
+  explicit SyncEvent(Engine& engine) : engine_(engine) {}
+  SyncEvent(const SyncEvent&) = delete;
+  SyncEvent& operator=(const SyncEvent&) = delete;
+
+  /// Fires the condition.  Blocked waiters are woken; waiters spinning on a
+  /// PCPU proceed immediately; descheduled spinners proceed when next
+  /// dispatched (they cannot observe the flag without CPU time).
+  void signal();
+
+  bool signalled() const { return signalled_; }
+
+  /// Engine bookkeeping: registers a waiter (any wait style).
+  void add_waiter(Vcpu& v) { waiters_.push_back(&v); }
+  void remove_waiter(const Vcpu& v);
+
+ private:
+  Engine& engine_;
+  bool signalled_ = false;
+  std::vector<Vcpu*> waiters_;
+};
+
+}  // namespace atcsim::virt

@@ -1,0 +1,105 @@
+// Virtual CPU: the schedulable entity.
+#pragma once
+
+#include <cstdint>
+
+#include "simcore/event_queue.h"
+#include "simcore/time.h"
+#include "virt/ids.h"
+#include "virt/workload_api.h"
+
+namespace atcsim::virt {
+
+class Vm;
+
+enum class VcpuState : std::uint8_t {
+  kRunnable,  ///< wants CPU (includes descheduled spinners)
+  kRunning,   ///< currently on a PCPU
+  kBlocked,   ///< halted, waiting for a SyncEvent
+  kDone,      ///< program exited (or no program assigned)
+};
+
+/// Credit-scheduler priority classes, ordered best-first as in Xen.
+/// kParked = a capped VM that exhausted its cap; never scheduled until its
+/// credits are replenished (Xen's CSCHED_PRI_TS_PARKED).
+enum class CreditPrio : std::uint8_t {
+  kBoost = 0,
+  kUnder = 1,
+  kOver = 2,
+  kParked = 3,
+};
+
+class Vcpu {
+ public:
+  Vcpu(VcpuId id, Vm& vm, int index_in_vm)
+      : id_(id), vm_(&vm), index_in_vm_(index_in_vm) {}
+
+  VcpuId id() const { return id_; }
+  Vm& vm() { return *vm_; }
+  const Vm& vm() const { return *vm_; }
+  int index_in_vm() const { return index_in_vm_; }
+
+  /// Binds the guest program.  Non-owning: applications own their rank
+  /// workloads.  Must be set before Engine::start().
+  void set_workload(Workload* w) { workload_ = w; }
+  Workload* workload() { return workload_; }
+  const Workload* workload() const { return workload_; }
+
+  VcpuState state() const { return state_; }
+  bool runnable() const { return state_ == VcpuState::kRunnable; }
+  bool running() const { return state_ == VcpuState::kRunning; }
+
+  // --- lifetime-cumulative accounting ---------------------------------
+  struct Totals {
+    sim::SimTime run = 0;        ///< on-CPU time (compute + spin)
+    sim::SimTime spin_cpu = 0;   ///< on-CPU time spent busy-waiting
+    std::uint64_t dispatches = 0;
+  };
+  const Totals& totals() const { return totals_; }
+
+  // ---------------------------------------------------------------------
+  // Engine/scheduler working state.  Public struct rather than friend
+  // spaghetti: only the engine and schedulers touch it.
+  struct Sched {
+    double credits = 0.0;
+    CreditPrio prio = CreditPrio::kUnder;
+    bool boosted = false;
+    PcpuId queue;      ///< run-queue (PCPU) this VCPU is assigned to
+    PcpuId last_pcpu;  ///< last PCPU it ran on (cache affinity)
+    PcpuId pinned;     ///< hard affinity ("xl vcpu-pin"); invalid = none
+  };
+  Sched& sched() { return sched_; }
+  const Sched& sched() const { return sched_; }
+
+  struct EngineState {
+    Action action;                ///< current/next action to execute
+    bool action_valid = false;    ///< false until first fetch from workload
+    sim::SimTime compute_left = 0;      ///< remaining work of kCompute
+    sim::SimTime cache_debt = 0;        ///< pending refill penalty to pay
+    sim::SimTime stint_start = 0;       ///< when current on-CPU stint began
+    sim::SimTime last_stint = 0;        ///< length of the previous stint
+    sim::SimTime segment_start = 0;     ///< when current segment began
+    sim::SimTime spin_episode_start = 0;///< wall start of current spin wait
+    bool in_spin_episode = false;
+    bool wait_registered = false;       ///< in its event's waiter list
+    sim::EventId segment_event;         ///< compute-finish event
+    class Pcpu* on_pcpu = nullptr;      ///< set while kRunning
+  };
+  EngineState& eng() { return eng_; }
+
+  // Engine-only state transitions (public for the engine; see engine.cc).
+  void set_state(VcpuState s) { state_ = s; }
+  Totals& mutable_totals() { return totals_; }
+
+ private:
+  VcpuId id_;
+  Vm* vm_;
+  int index_in_vm_;
+  Workload* workload_ = nullptr;
+  VcpuState state_ = VcpuState::kDone;
+  Sched sched_;
+  EngineState eng_;
+  Totals totals_;
+};
+
+}  // namespace atcsim::virt

@@ -1,0 +1,30 @@
+#include "virt/vm.h"
+
+#include <cassert>
+
+namespace atcsim::virt {
+
+Vm::Vm(VmId id, Node& node, VmType type, std::string name)
+    : id_(id), node_(&node), type_(type), name_(std::move(name)) {}
+
+Vcpu& Vm::add_vcpu(VcpuId id) {
+  vcpus_.push_back(
+      std::make_unique<Vcpu>(id, *this, static_cast<int>(vcpus_.size())));
+  return *vcpus_.back();
+}
+
+bool Vm::any_running() const {
+  for (const auto& v : vcpus_) {
+    if (v->running()) return true;
+  }
+  return false;
+}
+
+Vcpu* Vm::first_blocked() {
+  for (auto& v : vcpus_) {
+    if (v->state() == VcpuState::kBlocked) return v.get();
+  }
+  return nullptr;
+}
+
+}  // namespace atcsim::virt

@@ -1,0 +1,128 @@
+// Virtual machine: a set of VCPUs plus per-VM scheduling state and the
+// monitoring accumulators that drive ATC / CS / DSS / vSlicer.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "simcore/time.h"
+#include "virt/ids.h"
+#include "virt/vcpu.h"
+
+namespace atcsim::virt {
+
+class Node;
+
+enum class VmType : std::uint8_t {
+  kDom0,         ///< driver domain (netback/blkback)
+  kParallel,     ///< hosts ranks of a tightly-coupled parallel application
+  kNonParallel,  ///< everything else (CPU, I/O, latency-sensitive apps)
+};
+
+class Vm {
+ public:
+  Vm(VmId id, Node& node, VmType type, std::string name);
+
+  VmId id() const { return id_; }
+  Node& node() { return *node_; }
+  const Node& node() const { return *node_; }
+  VmType type() const { return type_; }
+  const std::string& name() const { return name_; }
+
+  bool is_parallel() const { return type_ == VmType::kParallel; }
+  bool is_dom0() const { return type_ == VmType::kDom0; }
+
+  /// Adds a VCPU (platform assigns the global id).  Construction-time only.
+  Vcpu& add_vcpu(VcpuId id);
+
+  std::vector<std::unique_ptr<Vcpu>>& vcpus() { return vcpus_; }
+  const std::vector<std::unique_ptr<Vcpu>>& vcpus() const { return vcpus_; }
+  std::size_t vcpu_count() const { return vcpus_.size(); }
+
+  // --- scheduling parameters -------------------------------------------
+  int weight() const { return weight_; }
+  void set_weight(int w) { weight_ = w; }
+
+  /// Credit cap in percent of one PCPU ("xl sched-credit -c"); a 2-VCPU VM
+  /// capped at 150 may use at most 1.5 PCPUs.  0 = uncapped.
+  int cap_percent() const { return cap_percent_; }
+  void set_cap_percent(int cap) { cap_percent_ = cap; }
+
+  /// Per-VM scheduling time slice.  The paper's hypercall extension; all
+  /// slice controllers (ATC, DSS, vSlicer, admin interface) write this and
+  /// the credit scheduler reads it at dispatch.
+  sim::SimTime time_slice() const { return time_slice_; }
+  void set_time_slice(sim::SimTime s) { time_slice_ = s; }
+
+  /// Administrator-specified slice for non-parallel VMs (Sec. III-C
+  /// interface).  ATC uses it instead of the VMM default when present.
+  /// vSlicer classification hint (admin-designated, as in the vSlicer
+  /// paper): VMs hosting latency-sensitive / network-driven applications.
+  bool latency_sensitive() const { return latency_sensitive_; }
+  void set_latency_sensitive(bool v) { latency_sensitive_ = v; }
+
+  bool has_admin_slice() const { return admin_slice_ >= 0; }
+  sim::SimTime admin_slice() const { return admin_slice_; }
+  void set_admin_slice(sim::SimTime s) { admin_slice_ = s; }
+  void clear_admin_slice() { admin_slice_ = -1; }
+
+  // --- monitoring accumulators ------------------------------------------
+  /// Reset every control period by the period monitor.
+  struct PeriodStats {
+    sim::SimTime spin_wall = 0;    ///< summed wall latency of finished spins
+    std::uint64_t spin_episodes = 0;
+    sim::SimTime spin_cpu = 0;     ///< on-CPU busy-wait time
+    sim::SimTime run_time = 0;     ///< on-CPU time (all)
+    std::uint64_t io_events = 0;   ///< packets+disk ops (DSS signal)
+    std::uint64_t wakeups = 0;     ///< block->wake transitions (vSlicer signal)
+    std::uint64_t ctx_switches = 0;
+    std::uint64_t llc_misses = 0;
+
+    void reset() { *this = PeriodStats{}; }
+  };
+  PeriodStats& period() { return period_; }
+  const PeriodStats& period() const { return period_; }
+
+  /// Never reset; experiment-level reporting.
+  struct Totals {
+    sim::SimTime spin_wall = 0;
+    std::uint64_t spin_episodes = 0;
+    sim::SimTime spin_cpu = 0;
+    sim::SimTime run_time = 0;
+    std::uint64_t ctx_switches = 0;
+    std::uint64_t llc_misses = 0;
+    std::uint64_t io_events = 0;
+  };
+  Totals& totals() { return totals_; }
+  const Totals& totals() const { return totals_; }
+
+  // --- event-channel mailbox ---------------------------------------------
+  /// Pending guest-side completions (packet/disk arrivals).  Handlers run
+  /// when the VM is next able to process interrupts; see Engine::deposit.
+  std::vector<std::function<void()>>& mailbox() { return mailbox_; }
+
+  /// True when at least one VCPU is on a PCPU.
+  bool any_running() const;
+  /// First blocked VCPU (event-channel IRQ target), or nullptr.
+  Vcpu* first_blocked();
+
+ private:
+  VmId id_;
+  Node* node_;
+  VmType type_;
+  std::string name_;
+  std::vector<std::unique_ptr<Vcpu>> vcpus_;
+  int weight_ = 256;
+  int cap_percent_ = 0;
+  sim::SimTime time_slice_ = 0;  // set from ModelParams default at creation
+  sim::SimTime admin_slice_ = -1;
+  bool latency_sensitive_ = false;
+  PeriodStats period_;
+  Totals totals_;
+  std::vector<std::function<void()>> mailbox_;
+};
+
+}  // namespace atcsim::virt

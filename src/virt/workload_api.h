@@ -1,0 +1,65 @@
+// The guest work-program API.
+//
+// Every VCPU executes a Workload: a pull-based state machine that the engine
+// asks for the next Action whenever the previous one completes.  Actions are
+// deliberately minimal — compute, spin-wait, block-wait, exit — because those
+// four are exactly what distinguishes parallel synchronization behaviour
+// under VMM scheduling.  Asynchronous side effects (posting a network packet,
+// issuing a disk request) are performed by the workload inside next(), which
+// runs at the simulated instant the VCPU reaches that point of its program.
+#pragma once
+
+#include <string>
+
+#include "simcore/time.h"
+#include "virt/ids.h"
+
+namespace atcsim::virt {
+
+class Vcpu;
+class SyncEvent;
+
+/// One step of a guest program.
+struct Action {
+  enum class Kind {
+    kCompute,    ///< burn `duration` of on-CPU time
+    kSpinWait,   ///< busy-wait (stays runnable, burns CPU) until `event`
+    kBlockWait,  ///< halt the VCPU until `event` (woken with BOOST)
+    kExit,       ///< the program is finished; the VCPU never runs again
+  };
+
+  Kind kind = Kind::kExit;
+  sim::SimTime duration = 0;    // kCompute only
+  SyncEvent* event = nullptr;   // kSpinWait / kBlockWait only
+
+  static Action compute(sim::SimTime d) {
+    return Action{Kind::kCompute, d, nullptr};
+  }
+  static Action spin_wait(SyncEvent& ev) {
+    return Action{Kind::kSpinWait, 0, &ev};
+  }
+  static Action block_wait(SyncEvent& ev) {
+    return Action{Kind::kBlockWait, 0, &ev};
+  }
+  static Action exit() { return Action{}; }
+};
+
+/// A guest program bound to one VCPU.  Implementations live in
+/// src/workload/ (application models) and src/net/ (dom0 backends).
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  /// Returns the next action.  Called with the VCPU on a PCPU at the
+  /// simulated time the previous action completed.  May perform side
+  /// effects (sends, bookkeeping) that happen "now".
+  virtual Action next(Vcpu& self) = 0;
+
+  /// Multiplier on ModelParams::cache_refill_penalty: how badly this
+  /// program suffers when its LLC working set is evicted.
+  virtual double cache_sensitivity() const { return 1.0; }
+
+  virtual std::string name() const = 0;
+};
+
+}  // namespace atcsim::virt

@@ -1,0 +1,160 @@
+#include "workload/apps.h"
+
+namespace atcsim::workload {
+
+using sim::SimTime;
+
+// ---------------------------------------------------------- CpuBoundWorkload
+
+virt::Action CpuBoundWorkload::next(virt::Vcpu& /*self*/) {
+  if (last_chunk_ > 0 && counter_ != nullptr) {
+    counter_->add(sim::to_seconds(last_chunk_) *
+                  cfg_.units_per_second_of_work);
+  }
+  last_chunk_ = rng_.jittered(cfg_.chunk, cfg_.jitter);
+  return virt::Action::compute(last_chunk_);
+}
+
+CpuBoundWorkload::Config CpuBoundWorkload::sphinx3() {
+  Config c;
+  c.name = "sphinx3";
+  c.chunk = 1'500'000;  // 1.5 ms
+  c.cache_sens = 12.0;  // large acoustic-model working set
+  return c;
+}
+
+CpuBoundWorkload::Config CpuBoundWorkload::gcc() {
+  Config c;
+  c.name = "gcc";
+  c.chunk = 2'000'000;  // 2 ms
+  c.cache_sens = 8.0;
+  return c;
+}
+
+CpuBoundWorkload::Config CpuBoundWorkload::bzip2() {
+  Config c;
+  c.name = "bzip2";
+  c.chunk = 3'000'000;  // 3 ms
+  c.cache_sens = 5.0;
+  return c;
+}
+
+CpuBoundWorkload::Config CpuBoundWorkload::stream() {
+  Config c;
+  c.name = "stream";
+  c.chunk = 500'000;  // 0.5 ms
+  c.cache_sens = 6.0;
+  // ~12 GB/s of triad traffic per busy second, reported in MB.
+  c.units_per_second_of_work = 12'000.0;
+  return c;
+}
+
+// -------------------------------------------------------- IdleServerWorkload
+
+virt::Action IdleServerWorkload::next(virt::Vcpu& /*self*/) {
+  if (wait_ == nullptr || wait_->signalled()) {
+    wait_ = std::make_unique<virt::SyncEvent>(*engine_);
+  }
+  return virt::Action::block_wait(*wait_);
+}
+
+// -------------------------------------------------------------- PingWorkload
+
+virt::Action PingWorkload::next(virt::Vcpu& /*self*/) {
+  switch (phase_) {
+    case Phase::kSend: {
+      reply_ = std::make_unique<virt::SyncEvent>(net_->engine());
+      sent_at_ = net_->simulation().now();
+      virt::SyncEvent* reply = reply_.get();
+      virt::Vm* peer = peer_;
+      virt::Vm* self_vm = vm_;
+      net::VirtualNetwork* net = net_;
+      const std::uint64_t bytes = cfg_.bytes;
+      // Echo request; the peer's kernel replies as soon as the peer VM can
+      // take the interrupt (the deposit handler runs in its context).
+      net->send(*self_vm, *peer, bytes, [net, peer, self_vm, bytes, reply] {
+        net->send(*peer, *self_vm, bytes, [reply] { reply->signal(); });
+      });
+      phase_ = Phase::kGotReply;
+      return virt::Action::block_wait(*reply_);
+    }
+    case Phase::kGotReply: {
+      if (rtt_ != nullptr) {
+        rtt_->record(net_->simulation().now() - sent_at_);
+      }
+      phase_ = Phase::kSend;
+      sleep_ = std::make_unique<virt::SyncEvent>(net_->engine());
+      virt::SyncEvent* sleep = sleep_.get();
+      net_->simulation().call_in(cfg_.interval, [sleep] { sleep->signal(); });
+      return virt::Action::block_wait(*sleep_);
+    }
+  }
+  return virt::Action::exit();
+}
+
+// -------------------------------------------------------------- DiskWorkload
+
+virt::Action DiskWorkload::next(virt::Vcpu& /*self*/) {
+  if (outstanding_ < cfg_.queue_depth) {
+    ++outstanding_;
+    net_->submit_disk(*vm_, cfg_.request_bytes, [this] {
+      --outstanding_;
+      if (counter_ != nullptr) {
+        counter_->add(static_cast<double>(cfg_.request_bytes) /
+                      (1024.0 * 1024.0));
+      }
+      if (wait_ != nullptr && !wait_->signalled()) wait_->signal();
+    });
+    return virt::Action::compute(cfg_.submit_cost);
+  }
+  // Pipe full: sleep until a completion frees a slot.
+  wait_ = std::make_unique<virt::SyncEvent>(net_->engine());
+  return virt::Action::block_wait(*wait_);
+}
+
+// --------------------------------------------------------- WebServerWorkload
+
+void WebServerWorkload::on_request(sim::SimTime injected_at) {
+  backlog_.push_back(injected_at);
+  if (idle_ != nullptr && !idle_->signalled()) idle_->signal();
+}
+
+virt::Action WebServerWorkload::next(virt::Vcpu& /*self*/) {
+  if (serving_) {
+    // Service finished: emit the response; stamp the response time when it
+    // exits the fabric (the client-side measurement point).
+    serving_ = false;
+    metrics::LatencyRecorder* rec = rec_;
+    net::VirtualNetwork* net = net_;
+    const SimTime t0 = current_t0_;
+    net->send_out(*vm_, cfg_.response_bytes, [net, rec, t0] {
+      if (rec != nullptr) rec->record(net->simulation().now() - t0);
+    });
+  }
+  if (!backlog_.empty()) {
+    current_t0_ = backlog_.front();
+    backlog_.pop_front();
+    serving_ = true;
+    return virt::Action::compute(rng_.jittered(cfg_.service, cfg_.jitter));
+  }
+  idle_ = std::make_unique<virt::SyncEvent>(net_->engine());
+  return virt::Action::block_wait(*idle_);
+}
+
+// -------------------------------------------------------------- HttperfClient
+
+void HttperfClient::start() { arrival(); }
+
+void HttperfClient::arrival() {
+  const double gap_s = rng_.exponential(1.0 / cfg_.rate_per_second);
+  const SimTime gap = static_cast<SimTime>(gap_s * 1e9);
+  net_->simulation().call_in(std::max<SimTime>(gap, 1), [this] {
+    const SimTime t0 = net_->simulation().now();
+    WebServerWorkload* server = server_;
+    net_->inject(*server_vm_, cfg_.request_bytes,
+                 [server, t0] { server->on_request(t0); });
+    arrival();
+  });
+}
+
+}  // namespace atcsim::workload

@@ -1,0 +1,185 @@
+// Non-parallel application models: CPU-bound (SPEC-like), memory-bandwidth
+// (stream), disk I/O (bonnie++-like), ICMP echo (ping), and a web server
+// driven by an httperf-style open-loop client.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+
+#include "metrics/recorders.h"
+#include "net/network.h"
+#include "simcore/rng.h"
+#include "virt/sync_event.h"
+#include "virt/workload_api.h"
+
+namespace atcsim::workload {
+
+using namespace sim::time_literals;
+
+/// CPU-bound loop (sphinx3 / gcc / bzip2 / stream).  Counts completed work
+/// into a RateCounter; effective throughput vs. CR gives the paper's
+/// normalized execution time for fixed-work applications.
+class CpuBoundWorkload : public virt::Workload {
+ public:
+  struct Config {
+    std::string name = "cpu";
+    sim::SimTime chunk = 2 * sim::kMillisecond;
+    double jitter = 0.05;
+    double cache_sens = 1.2;
+    /// Units credited per completed chunk-second (1.0 = CPU-seconds; stream
+    /// uses bytes-derived units).
+    double units_per_second_of_work = 1.0;
+  };
+
+  CpuBoundWorkload(Config cfg, sim::Rng rng, metrics::RateCounter* counter)
+      : cfg_(std::move(cfg)), rng_(rng), counter_(counter) {}
+
+  virt::Action next(virt::Vcpu& self) override;
+  double cache_sensitivity() const override { return cfg_.cache_sens; }
+  std::string name() const override { return cfg_.name; }
+
+  /// Canned SPEC CPU 2006 profiles.
+  static Config sphinx3();
+  static Config gcc();
+  static Config bzip2();
+  static Config stream();  ///< units = MB of triad traffic
+
+ private:
+  Config cfg_;
+  sim::Rng rng_;
+  metrics::RateCounter* counter_;
+  sim::SimTime last_chunk_ = 0;
+};
+
+/// Halted server VCPU: blocks forever, woken only to process event-channel
+/// mail (ICMP echo handling happens in the deposit handlers).
+class IdleServerWorkload : public virt::Workload {
+ public:
+  explicit IdleServerWorkload(virt::Engine& engine) : engine_(&engine) {}
+  virt::Action next(virt::Vcpu& self) override;
+  std::string name() const override { return "idle-server"; }
+  double cache_sensitivity() const override { return 0.1; }
+
+ private:
+  virt::Engine* engine_;
+  std::unique_ptr<virt::SyncEvent> wait_;
+};
+
+/// ping: periodic echo request to a peer VM; RTT = network + the VMM
+/// scheduling delays on both ends.
+class PingWorkload : public virt::Workload {
+ public:
+  struct Config {
+    sim::SimTime interval = 5 * sim::kMillisecond;
+    std::uint64_t bytes = 64;
+  };
+
+  PingWorkload(net::VirtualNetwork& net, virt::Vm& self_vm, virt::Vm& peer,
+               Config cfg, metrics::LatencyRecorder* rtt)
+      : net_(&net), vm_(&self_vm), peer_(&peer), cfg_(cfg), rtt_(rtt) {}
+
+  virt::Action next(virt::Vcpu& self) override;
+  std::string name() const override { return "ping"; }
+  double cache_sensitivity() const override { return 0.1; }
+
+ private:
+  net::VirtualNetwork* net_;
+  virt::Vm* vm_;
+  virt::Vm* peer_;
+  Config cfg_;
+  metrics::LatencyRecorder* rtt_;
+  std::unique_ptr<virt::SyncEvent> reply_;
+  std::unique_ptr<virt::SyncEvent> sleep_;
+  sim::SimTime sent_at_ = 0;
+  enum class Phase { kSend, kGotReply } phase_ = Phase::kSend;
+};
+
+/// bonnie++-like sequential disk workload through blkback.  Keeps
+/// `queue_depth` requests in flight (buffered sequential I/O), so its
+/// throughput is disk-bound rather than scheduling-latency-bound.
+class DiskWorkload : public virt::Workload {
+ public:
+  struct Config {
+    std::uint64_t request_bytes = 256 * 1024;
+    sim::SimTime submit_cost = 20 * sim::kMicrosecond;
+    int queue_depth = 8;
+  };
+
+  DiskWorkload(net::VirtualNetwork& net, virt::Vm& self_vm, Config cfg,
+               metrics::RateCounter* mb_counter)
+      : net_(&net), vm_(&self_vm), cfg_(cfg), counter_(mb_counter) {}
+
+  virt::Action next(virt::Vcpu& self) override;
+  std::string name() const override { return "bonnie"; }
+  double cache_sensitivity() const override { return 0.3; }
+
+ private:
+  net::VirtualNetwork* net_;
+  virt::Vm* vm_;
+  Config cfg_;
+  metrics::RateCounter* counter_;
+  std::unique_ptr<virt::SyncEvent> wait_;
+  int outstanding_ = 0;
+};
+
+/// Apache-like request/response server; measure with HttperfClient.
+class WebServerWorkload : public virt::Workload {
+ public:
+  struct Config {
+    sim::SimTime service = 1 * sim::kMillisecond;
+    double jitter = 0.2;
+    std::uint64_t response_bytes = 16 * 1024;
+  };
+
+  WebServerWorkload(net::VirtualNetwork& net, virt::Vm& self_vm, Config cfg,
+                    metrics::LatencyRecorder* response_time, sim::Rng rng)
+      : net_(&net), vm_(&self_vm), cfg_(cfg), rec_(response_time), rng_(rng) {}
+
+  /// Called from the request-delivery deposit handler.
+  void on_request(sim::SimTime injected_at);
+
+  virt::Action next(virt::Vcpu& self) override;
+  std::string name() const override { return "webserver"; }
+  double cache_sensitivity() const override { return 2.0; }
+
+ private:
+  net::VirtualNetwork* net_;
+  virt::Vm* vm_;
+  Config cfg_;
+  metrics::LatencyRecorder* rec_;
+  sim::Rng rng_;
+  std::deque<sim::SimTime> backlog_;
+  std::unique_ptr<virt::SyncEvent> idle_;
+  bool serving_ = false;
+  sim::SimTime current_t0_ = 0;
+};
+
+/// Open-loop Poisson request generator (httperf).
+class HttperfClient {
+ public:
+  struct Config {
+    double rate_per_second = 50.0;
+    std::uint64_t request_bytes = 512;
+  };
+
+  HttperfClient(net::VirtualNetwork& net, virt::Vm& server_vm,
+                WebServerWorkload& server, Config cfg, sim::Rng rng)
+      : net_(&net), server_vm_(&server_vm), server_(&server), cfg_(cfg),
+        rng_(rng) {}
+
+  /// Schedules the arrival process; call before the simulation runs.
+  void start();
+
+ private:
+  void arrival();
+
+  net::VirtualNetwork* net_;
+  virt::Vm* server_vm_;
+  WebServerWorkload* server_;
+  Config cfg_;
+  sim::Rng rng_;
+};
+
+}  // namespace atcsim::workload

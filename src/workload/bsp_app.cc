@@ -1,0 +1,153 @@
+#include "workload/bsp_app.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace atcsim::workload {
+
+using sim::SimTime;
+
+BspApp::BspApp(net::VirtualNetwork& net, std::vector<virt::Vm*> vms,
+               BspConfig cfg, sim::Rng rng,
+               metrics::DurationRecorder* superstep_rec,
+               metrics::DurationRecorder* iteration_rec)
+    : net_(&net), cfg_(cfg), rng_(rng), vm_ptrs_(std::move(vms)),
+      superstep_rec_(superstep_rec), iteration_rec_(iteration_rec) {
+  assert(!vm_ptrs_.empty());
+  vms_.resize(vm_ptrs_.size());
+  for (std::size_t i = 0; i < vm_ptrs_.size(); ++i) {
+    vms_[i].vm = vm_ptrs_[i];
+    assert(vm_ptrs_[i]->vcpu_count() == vm_ptrs_[0]->vcpu_count() &&
+           "all VMs of a virtual cluster have the same VCPU count");
+  }
+}
+
+BspApp::~BspApp() = default;
+
+void BspApp::attach() {
+  int rank = 0;
+  for (std::size_t i = 0; i < vms_.size(); ++i) {
+    for (auto& vcpu : vms_[i].vm->vcpus()) {
+      ranks_.push_back(std::make_unique<BspRank>(
+          *this, static_cast<int>(i), rank,
+          rng_.split(static_cast<std::uint64_t>(rank))));
+      vcpu->set_workload(ranks_.back().get());
+      ++rank;
+    }
+  }
+}
+
+virt::SyncEvent& BspApp::release_event(int vm_index, std::uint64_t gen) {
+  auto& releases = vms_[static_cast<std::size_t>(vm_index)].releases;
+  auto it = releases.find(gen);
+  if (it == releases.end()) {
+    it = releases
+             .emplace(gen, std::make_unique<virt::SyncEvent>(net_->engine()))
+             .first;
+  }
+  return *it->second;
+}
+
+virt::SyncEvent& BspApp::local_round_arrived(int vm_index,
+                                             std::uint64_t gen, int seg) {
+  VmState& vs = vms_[static_cast<std::size_t>(vm_index)];
+  const std::uint64_t key = (gen << 5) | static_cast<std::uint64_t>(seg);
+  auto it = vs.local_events.find(key);
+  if (it == vs.local_events.end()) {
+    it = vs.local_events
+             .emplace(key, std::make_unique<virt::SyncEvent>(net_->engine()))
+             .first;
+  }
+  virt::SyncEvent& ev = *it->second;
+  const int arrived = ++vs.local_arrivals[key];
+  if (arrived == static_cast<int>(vs.vm->vcpu_count())) {
+    vs.local_arrivals.erase(key);
+    // Shared-memory barrier: the last local arriver releases it in place.
+    ev.signal();
+  }
+  return ev;
+}
+
+virt::SyncEvent& BspApp::rank_arrived(int vm_index, std::uint64_t gen) {
+  VmState& vs = vms_[static_cast<std::size_t>(vm_index)];
+  virt::SyncEvent& release = release_event(vm_index, gen);
+  const int arrived = ++vs.arrivals[gen];
+  if (arrived == static_cast<int>(vs.vm->vcpu_count())) {
+    vs.arrivals.erase(gen);
+    // The last local arriver notifies the coordinator (VM 0) on behalf of
+    // its VM, carrying the application's per-superstep exchange volume.
+    if (vm_index == 0) {
+      coordinator_arrive(gen);
+    } else {
+      net_->send(*vs.vm, *vms_[0].vm, cfg_.bytes_per_msg,
+                 [this, gen] { coordinator_arrive(gen); });
+    }
+  }
+  return release;
+}
+
+void BspApp::coordinator_arrive(std::uint64_t gen) {
+  const int arrived = ++coord_arrivals_[gen];
+  if (arrived == static_cast<int>(vms_.size())) {
+    coord_arrivals_.erase(gen);
+    release_generation(gen);
+  }
+}
+
+void BspApp::release_generation(std::uint64_t gen) {
+  const SimTime now = net_->simulation().now();
+  if (superstep_rec_ != nullptr) {
+    superstep_rec_->record(now - superstep_start_);
+  }
+  superstep_start_ = now;
+  ++supersteps_done_;
+  if (iteration_rec_ != nullptr &&
+      supersteps_done_ % static_cast<std::uint64_t>(
+                             cfg_.supersteps_per_iteration) == 0) {
+    iteration_rec_->record(now - iter_start_);
+    iter_start_ = now;
+  }
+
+  release_event(0, gen).signal();
+  for (std::size_t i = 1; i < vms_.size(); ++i) {
+    net_->send(*vms_[0].vm, *vms_[i].vm, cfg_.bytes_per_msg,
+               [this, i, gen] {
+                 release_event(static_cast<int>(i), gen).signal();
+               });
+  }
+
+  // GC: by the time generation g is released, every rank has passed the
+  // g-1 barrier, so no VCPU can still reference events of g-2.
+  if (gen >= 2) {
+    for (auto& vs : vms_) {
+      vs.releases.erase(gen - 2);
+      for (int seg = 0; seg < cfg_.sync_rounds; ++seg) {
+        vs.local_events.erase(((gen - 2) << 5) |
+                              static_cast<std::uint64_t>(seg));
+      }
+    }
+  }
+}
+
+virt::Action BspRank::next(virt::Vcpu& /*self*/) {
+  const auto& cfg = app_->config();
+  if (!computing_) {
+    computing_ = true;
+    const sim::SimTime segment =
+        cfg.compute_per_superstep / std::max(1, cfg.sync_rounds);
+    return virt::Action::compute(
+        rng_.jittered(segment, cfg.compute_jitter));
+  }
+  computing_ = false;
+  if (seg_ < cfg.sync_rounds - 1) {
+    virt::SyncEvent& ev = app_->local_round_arrived(vm_index_, gen_, seg_);
+    ++seg_;
+    return virt::Action::spin_wait(ev);
+  }
+  seg_ = 0;
+  virt::SyncEvent& release = app_->rank_arrived(vm_index_, gen_);
+  ++gen_;
+  return virt::Action::spin_wait(release);
+}
+
+}  // namespace atcsim::workload

@@ -1,0 +1,130 @@
+// Bulk-Synchronous Parallel application model (one MPI-style rank per VCPU).
+//
+// Every superstep each rank computes, then enters the barrier:
+//  * intra-VM: ranks of a VM busy-wait (user-space MPI poll; the VCPU stays
+//    runnable and burns CPU) until the VM's release event fires — the spin
+//    the paper's monitor measures;
+//  * cross-VM: the last local arriver sends an "arrive" message to the
+//    coordinator VM through the full split-driver network path; once all
+//    VMs arrived the coordinator sends "release" messages back.  Message
+//    sizes model the application's per-superstep data exchange volume.
+// Both legs wait through VMM scheduling delays, so superstep latency scales
+// with the time slices of co-located VMs — the effect ATC exploits.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "metrics/recorders.h"
+#include "net/network.h"
+#include "simcore/rng.h"
+#include "virt/engine.h"
+#include "virt/sync_event.h"
+#include "virt/workload_api.h"
+
+namespace atcsim::workload {
+
+struct BspConfig {
+  std::string name = "bsp";
+  /// Mean per-rank compute per superstep (grain of coupling).
+  sim::SimTime compute_per_superstep = 2 * sim::kMillisecond;
+  double compute_jitter = 0.15;
+  /// Barrier/exchange message volume per VM per superstep direction.
+  std::uint64_t bytes_per_msg = 64 * 1024;
+  /// Supersteps per application iteration (one "run" of the benchmark).
+  int supersteps_per_iteration = 20;
+  /// Compute-then-synchronize segments per superstep.  The first
+  /// (sync_rounds - 1) syncs are intra-VM shared-memory barriers (the LHP
+  /// spin the co-scheduling literature targets); the last is the global
+  /// cross-VM barrier.  Must be in [1, 31].
+  int sync_rounds = 3;
+  double cache_sensitivity = 1.0;
+};
+
+class BspRank;
+
+/// One parallel application running on a virtual cluster of VMs.
+class BspApp {
+ public:
+  BspApp(net::VirtualNetwork& net, std::vector<virt::Vm*> vms, BspConfig cfg,
+         sim::Rng rng, metrics::DurationRecorder* superstep_rec,
+         metrics::DurationRecorder* iteration_rec);
+  ~BspApp();
+
+  BspApp(const BspApp&) = delete;
+  BspApp& operator=(const BspApp&) = delete;
+
+  /// Creates one rank per VCPU of every VM and binds the workloads.
+  /// Call before Engine::start().
+  void attach();
+
+  const BspConfig& config() const { return cfg_; }
+  std::uint64_t supersteps_completed() const { return supersteps_done_; }
+  const std::vector<virt::Vm*>& vms() const { return vm_ptrs_; }
+
+ private:
+  friend class BspRank;
+
+  /// Rank bookkeeping at barrier entry; returns the release event the rank
+  /// must spin on for generation `gen`.
+  virt::SyncEvent& rank_arrived(int vm_index, std::uint64_t gen);
+  /// Intra-VM shared-memory barrier for segment `seg` of generation `gen`;
+  /// the last local arriver releases it directly (no network).
+  virt::SyncEvent& local_round_arrived(int vm_index, std::uint64_t gen,
+                                       int seg);
+  void coordinator_arrive(std::uint64_t gen);
+  void release_generation(std::uint64_t gen);
+  virt::SyncEvent& release_event(int vm_index, std::uint64_t gen);
+
+  struct VmState {
+    virt::Vm* vm = nullptr;
+    std::unordered_map<std::uint64_t, int> arrivals;
+    std::unordered_map<std::uint64_t, std::unique_ptr<virt::SyncEvent>>
+        releases;
+    std::unordered_map<std::uint64_t, int> local_arrivals;
+    std::unordered_map<std::uint64_t, std::unique_ptr<virt::SyncEvent>>
+        local_events;
+  };
+
+  net::VirtualNetwork* net_;
+  BspConfig cfg_;
+  sim::Rng rng_;
+  std::vector<VmState> vms_;
+  std::vector<virt::Vm*> vm_ptrs_;
+  std::vector<std::unique_ptr<BspRank>> ranks_;
+  std::unordered_map<std::uint64_t, int> coord_arrivals_;
+  std::uint64_t supersteps_done_ = 0;
+  sim::SimTime superstep_start_ = 0;
+  sim::SimTime iter_start_ = 0;
+  metrics::DurationRecorder* superstep_rec_;
+  metrics::DurationRecorder* iteration_rec_;
+};
+
+/// The per-VCPU rank program: compute, barrier, repeat.
+class BspRank : public virt::Workload {
+ public:
+  BspRank(BspApp& app, int vm_index, int rank, sim::Rng rng)
+      : app_(&app), vm_index_(vm_index), rank_(rank), rng_(rng) {}
+
+  virt::Action next(virt::Vcpu& self) override;
+  double cache_sensitivity() const override {
+    return app_->config().cache_sensitivity;
+  }
+  std::string name() const override {
+    return app_->config().name + "/r" + std::to_string(rank_);
+  }
+
+ private:
+  BspApp* app_;
+  int vm_index_;
+  int rank_;
+  sim::Rng rng_;
+  std::uint64_t gen_ = 0;
+  int seg_ = 0;
+  bool computing_ = false;
+};
+
+}  // namespace atcsim::workload

@@ -1,0 +1,43 @@
+// Hypervisor control facade.
+//
+// The ATC prototype in the paper adjusts per-VM time slices through Xen
+// hypercalls.  This interface abstracts that control plane so the same
+// controller code drives either the simulator (SimBackend) or a real Xen
+// toolstack (XlToolstackBackend, which shells out to `xl`).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "simcore/time.h"
+
+namespace atcsim::xenctl {
+
+struct DomainInfo {
+  int domid = -1;
+  std::string name;
+  int vcpus = 0;
+  double mem_mib = 0.0;
+  std::string state;
+};
+
+class HypervisorBackend {
+ public:
+  virtual ~HypervisorBackend() = default;
+
+  virtual std::vector<DomainInfo> list_domains() = 0;
+
+  /// Sets the scheduler-global time slice (`xl sched-credit -s -t`).
+  /// Returns false when the backend rejects the value.
+  virtual bool set_global_time_slice(sim::SimTime slice) = 0;
+
+  /// Per-domain slice — the paper's hypercall extension.  Stock Xen does
+  /// not expose this; backends without support return false.
+  virtual bool set_domain_time_slice(int domid, sim::SimTime slice) = 0;
+
+  virtual std::optional<sim::SimTime> global_time_slice() = 0;
+};
+
+}  // namespace atcsim::xenctl

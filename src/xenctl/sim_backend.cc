@@ -1,0 +1,44 @@
+#include "xenctl/sim_backend.h"
+
+namespace atcsim::xenctl {
+
+std::vector<DomainInfo> SimBackend::list_domains() {
+  std::vector<DomainInfo> out;
+  for (std::size_t id = 0; id < platform_->vm_count(); ++id) {
+    const virt::Vm& vm =
+        platform_->vm(virt::VmId{static_cast<std::int32_t>(id)});
+    DomainInfo d;
+    d.domid = vm.id().value;
+    d.name = vm.name();
+    d.vcpus = static_cast<int>(vm.vcpu_count());
+    d.state = "r-----";
+    out.push_back(std::move(d));
+  }
+  return out;
+}
+
+bool SimBackend::set_global_time_slice(sim::SimTime slice) {
+  if (slice < platform_->params().min_time_slice) return false;
+  global_slice_ = slice;
+  for (std::size_t id = 0; id < platform_->vm_count(); ++id) {
+    platform_->vm(virt::VmId{static_cast<std::int32_t>(id)})
+        .set_time_slice(slice);
+  }
+  return true;
+}
+
+bool SimBackend::set_domain_time_slice(int domid, sim::SimTime slice) {
+  if (slice < platform_->params().min_time_slice) return false;
+  if (domid < 0 || static_cast<std::size_t>(domid) >= platform_->vm_count()) {
+    return false;
+  }
+  platform_->vm(virt::VmId{domid}).set_time_slice(slice);
+  return true;
+}
+
+std::optional<sim::SimTime> SimBackend::global_time_slice() {
+  if (global_slice_ < 0) return platform_->params().default_time_slice;
+  return global_slice_;
+}
+
+}  // namespace atcsim::xenctl

@@ -1,0 +1,23 @@
+// HypervisorBackend over the simulator: domid = VmId.
+#pragma once
+
+#include "virt/platform.h"
+#include "xenctl/backend.h"
+
+namespace atcsim::xenctl {
+
+class SimBackend : public HypervisorBackend {
+ public:
+  explicit SimBackend(virt::Platform& platform) : platform_(&platform) {}
+
+  std::vector<DomainInfo> list_domains() override;
+  bool set_global_time_slice(sim::SimTime slice) override;
+  bool set_domain_time_slice(int domid, sim::SimTime slice) override;
+  std::optional<sim::SimTime> global_time_slice() override;
+
+ private:
+  virt::Platform* platform_;
+  sim::SimTime global_slice_ = -1;  // -1 = platform default
+};
+
+}  // namespace atcsim::xenctl

@@ -1,0 +1,113 @@
+#include "xenctl/xl_backend.h"
+
+#include <array>
+#include <cstdio>
+#include <sstream>
+
+namespace atcsim::xenctl {
+
+CommandRunner::Result SystemCommandRunner::run(
+    const std::vector<std::string>& argv) {
+  std::string cmd;
+  for (const auto& a : argv) {
+    if (!cmd.empty()) cmd += ' ';
+    // Conservative quoting; xl arguments are simple tokens.
+    cmd += "'" + a + "'";
+  }
+  cmd += " 2>/dev/null";
+  Result result;
+  FILE* pipe = popen(cmd.c_str(), "r");
+  if (pipe == nullptr) {
+    result.exit_code = -1;
+    return result;
+  }
+  std::array<char, 4096> buf{};
+  std::size_t n;
+  while ((n = fread(buf.data(), 1, buf.size(), pipe)) > 0) {
+    result.output.append(buf.data(), n);
+  }
+  result.exit_code = pclose(pipe);
+  return result;
+}
+
+XlToolstackBackend::XlToolstackBackend(std::unique_ptr<CommandRunner> runner,
+                                       Options opts)
+    : runner_(std::move(runner)), opts_(std::move(opts)) {}
+
+std::vector<DomainInfo> XlToolstackBackend::parse_xl_list(
+    const std::string& output) {
+  // Format:
+  // Name                ID   Mem VCPUs      State   Time(s)
+  // Domain-0             0  4096     8     r-----   123.4
+  std::vector<DomainInfo> out;
+  std::istringstream in(output);
+  std::string line;
+  bool header_seen = false;
+  while (std::getline(in, line)) {
+    if (!header_seen) {
+      if (line.find("Name") != std::string::npos &&
+          line.find("ID") != std::string::npos) {
+        header_seen = true;
+      }
+      continue;
+    }
+    std::istringstream ls(line);
+    DomainInfo d;
+    std::string state;
+    double time_s = 0.0;
+    if (ls >> d.name >> d.domid >> d.mem_mib >> d.vcpus >> state >> time_s) {
+      d.state = state;
+      out.push_back(std::move(d));
+    }
+  }
+  return out;
+}
+
+std::optional<sim::SimTime> XlToolstackBackend::parse_sched_credit(
+    const std::string& output) {
+  // Format: "Cpupool Pool-0: tslice=30ms ratelimit=1000us ..."
+  const std::string key = "tslice=";
+  const std::size_t pos = output.find(key);
+  if (pos == std::string::npos) return std::nullopt;
+  double value = 0.0;
+  char unit[8] = {0};
+  if (std::sscanf(output.c_str() + pos + key.size(), "%lf%7[a-z]", &value,
+                  unit) < 1) {
+    return std::nullopt;
+  }
+  const std::string u = unit;
+  if (u == "us") return sim::from_micros(value);
+  if (u == "s") return static_cast<sim::SimTime>(value * 1e9);
+  return sim::from_millis(value);  // default / "ms"
+}
+
+std::vector<DomainInfo> XlToolstackBackend::list_domains() {
+  auto result = runner_->run({opts_.xl_binary, "list"});
+  if (result.exit_code != 0) return {};
+  return parse_xl_list(result.output);
+}
+
+bool XlToolstackBackend::set_global_time_slice(sim::SimTime slice) {
+  // xl takes integer milliseconds and requires tslice >= 1ms; the paper's
+  // prototype patches this limit via hypercall — through xl we clamp up.
+  const long ms = std::max<long>(1, static_cast<long>(sim::to_millis(slice)));
+  auto result = runner_->run(
+      {opts_.xl_binary, "sched-credit", "-s", "-t", std::to_string(ms)});
+  return result.exit_code == 0;
+}
+
+bool XlToolstackBackend::set_domain_time_slice(int domid, sim::SimTime slice) {
+  if (!opts_.assume_patched) return false;
+  auto result = runner_->run(
+      {opts_.atc_tslice_binary, "--domid", std::to_string(domid), "--tslice-us",
+       std::to_string(static_cast<long>(sim::to_micros(slice)))});
+  return result.exit_code == 0;
+}
+
+std::optional<sim::SimTime> XlToolstackBackend::global_time_slice() {
+  auto result = runner_->run({opts_.xl_binary, "sched-credit", "-s"});
+  if (result.exit_code != 0) return std::nullopt;
+  return parse_sched_credit(result.output);
+}
+
+}  // namespace atcsim::xenctl

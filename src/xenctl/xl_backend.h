@@ -1,0 +1,70 @@
+// HypervisorBackend over the real Xen toolstack.
+//
+// Builds and parses `xl` invocations:
+//   xl list                        -> list_domains
+//   xl sched-credit -s -t <ms>    -> set_global_time_slice
+//   xl sched-credit -s            -> global_time_slice (parses tslice)
+// Per-domain slices need the paper's hypercall patch; exposed through an
+// `atc-tslice` helper binary name that patched hosts provide — unpatched
+// hosts make set_domain_time_slice return false.
+//
+// Command execution is injected (CommandRunner) so the wrapper is unit
+// tested against recorded `xl` output without a Xen host.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "xenctl/backend.h"
+
+namespace atcsim::xenctl {
+
+/// Executes an argv; returns exit code and captured stdout.
+class CommandRunner {
+ public:
+  struct Result {
+    int exit_code = 0;
+    std::string output;
+  };
+
+  virtual ~CommandRunner() = default;
+  virtual Result run(const std::vector<std::string>& argv) = 0;
+};
+
+/// CommandRunner using popen(); only meaningful on a real Xen dom0.
+class SystemCommandRunner : public CommandRunner {
+ public:
+  Result run(const std::vector<std::string>& argv) override;
+};
+
+class XlToolstackBackend : public HypervisorBackend {
+ public:
+  struct Options {
+    std::string xl_binary = "xl";
+    /// Helper provided by hosts carrying the per-VM-slice hypercall patch.
+    std::string atc_tslice_binary = "atc-tslice";
+    bool assume_patched = false;
+  };
+
+  explicit XlToolstackBackend(std::unique_ptr<CommandRunner> runner)
+      : XlToolstackBackend(std::move(runner), Options{}) {}
+  XlToolstackBackend(std::unique_ptr<CommandRunner> runner, Options opts);
+
+  std::vector<DomainInfo> list_domains() override;
+  bool set_global_time_slice(sim::SimTime slice) override;
+  bool set_domain_time_slice(int domid, sim::SimTime slice) override;
+  std::optional<sim::SimTime> global_time_slice() override;
+
+  /// Parsers are exposed for tests.
+  static std::vector<DomainInfo> parse_xl_list(const std::string& output);
+  static std::optional<sim::SimTime> parse_sched_credit(
+      const std::string& output);
+
+ private:
+  std::unique_ptr<CommandRunner> runner_;
+  Options opts_;
+};
+
+}  // namespace atcsim::xenctl

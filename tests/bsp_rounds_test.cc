@@ -1,0 +1,131 @@
+// BSP synchronization-round semantics: the intra-VM LHP rounds that give
+// co-scheduling something to win (DESIGN.md decision 7).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "net/network.h"
+#include "sched/credit.h"
+#include "virt/platform.h"
+#include "workload/bsp_app.h"
+
+namespace atcsim {
+namespace {
+
+using namespace sim::time_literals;
+
+struct Rig {
+  sim::Simulation simulation;
+  std::unique_ptr<virt::Platform> platform;
+  std::unique_ptr<net::VirtualNetwork> network;
+  std::vector<std::unique_ptr<workload::BspApp>> apps;
+
+  explicit Rig(int pcpus = 2, std::uint64_t seed = 51) {
+    virt::PlatformConfig pc;
+    pc.nodes = 1;
+    pc.pcpus_per_node = pcpus;
+    pc.seed = seed;
+    platform = std::make_unique<virt::Platform>(simulation, pc);
+    network = std::make_unique<net::VirtualNetwork>(*platform);
+    network->attach();
+  }
+
+  workload::BspApp& app(int vcpus, workload::BspConfig cfg) {
+    virt::Vm& vm = platform->create_vm(
+        virt::NodeId{0}, virt::VmType::kParallel,
+        "bsp" + std::to_string(platform->vm_count()), vcpus);
+    apps.push_back(std::make_unique<workload::BspApp>(
+        *network, std::vector<virt::Vm*>{&vm}, cfg, sim::Rng(9), nullptr,
+        nullptr));
+    apps.back()->attach();
+    return *apps.back();
+  }
+
+  void run(sim::SimTime t) {
+    platform->set_scheduler(virt::NodeId{0},
+                            std::make_unique<sched::CreditScheduler>());
+    platform->engine().start();
+    simulation.run_until(t);
+  }
+};
+
+workload::BspConfig cfg_with_rounds(int rounds) {
+  workload::BspConfig cfg;
+  cfg.compute_per_superstep = 4_ms;
+  cfg.sync_rounds = rounds;
+  cfg.compute_jitter = 0.0;
+  return cfg;
+}
+
+TEST(BspRoundsTest, UncontendedRoundsAreFree) {
+  // With a dedicated PCPU per rank, extra intra-VM rounds add only the
+  // (zero-latency) barrier bookkeeping: superstep rate is unchanged.
+  auto steps = [](int rounds) {
+    Rig rig(2);
+    auto& app = rig.app(2, cfg_with_rounds(rounds));
+    rig.run(2_s);
+    return app.supersteps_completed();
+  };
+  const auto one = steps(1);
+  const auto four = steps(4);
+  EXPECT_NEAR(static_cast<double>(four) / static_cast<double>(one), 1.0,
+              0.06);
+}
+
+TEST(BspRoundsTest, ContendedRoundsMultiplySuperstepCost) {
+  // Three 2-VCPU spinning apps share 2 PCPUs (3:1 overcommit, so sibling
+  // co-residency is rare): every additional sync round costs roughly one
+  // more scheduling rotation per superstep.
+  auto steps = [](int rounds) {
+    Rig rig(2);
+    auto& a = rig.app(2, cfg_with_rounds(rounds));
+    rig.app(2, cfg_with_rounds(rounds));
+    rig.app(2, cfg_with_rounds(rounds));
+    rig.run(12_s);
+    return a.supersteps_completed();
+  };
+  const auto one = steps(1);
+  const auto four = steps(4);
+  EXPECT_GT(one, 2 * four);
+}
+
+TEST(BspRoundsTest, SuperstepCountsMatchAcrossClusterVms) {
+  Rig rig(2);
+  workload::BspConfig cfg = cfg_with_rounds(3);
+  cfg.supersteps_per_iteration = 4;
+  auto& app = rig.app(2, cfg);
+  rig.run(1_s);
+  EXPECT_GT(app.supersteps_completed(), 10u);
+  // Every rank observed every generation: total spin episodes per VM equal
+  // ranks x rounds x supersteps (within the in-flight margin of 1).
+  const virt::Vm& vm = *app.vms()[0];
+  const std::uint64_t expected =
+      vm.vcpu_count() * 3 * app.supersteps_completed();
+  EXPECT_NEAR(static_cast<double>(vm.totals().spin_episodes),
+              static_cast<double>(expected),
+              static_cast<double>(vm.vcpu_count() * 3));
+}
+
+TEST(BspRoundsTest, DeterministicAcrossRuns) {
+  auto fingerprint = [] {
+    Rig rig(2, 77);
+    auto& app = rig.app(4, cfg_with_rounds(2));
+    rig.run(1_s);
+    return app.supersteps_completed();
+  };
+  EXPECT_EQ(fingerprint(), fingerprint());
+}
+
+TEST(BspRoundsTest, JitterSpreadsArrivals) {
+  // With jitter, the non-laggard ranks accumulate nonzero spin wall time
+  // even on an uncontended host.
+  Rig rig(4);
+  workload::BspConfig cfg = cfg_with_rounds(1);
+  cfg.compute_jitter = 0.2;
+  auto& app = rig.app(4, cfg);
+  rig.run(2_s);
+  EXPECT_GT(app.vms()[0]->totals().spin_wall, 0);
+}
+
+}  // namespace
+}  // namespace atcsim

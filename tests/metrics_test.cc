@@ -1,0 +1,97 @@
+// Metrics tests: recorders, registry warmup reset, table rendering.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "metrics/recorders.h"
+#include "metrics/report.h"
+
+namespace atcsim::metrics {
+namespace {
+
+using namespace sim::time_literals;
+
+TEST(DurationRecorderTest, MeanAndSamples) {
+  DurationRecorder r;
+  r.record(10_ms);
+  r.record(30_ms);
+  EXPECT_DOUBLE_EQ(r.mean_seconds(), 0.02);
+  EXPECT_EQ(r.count(), 2u);
+  ASSERT_EQ(r.samples().size(), 2u);
+  r.reset();
+  EXPECT_EQ(r.count(), 0u);
+}
+
+TEST(RateCounterTest, RateAgainstSimTime) {
+  sim::Simulation s;
+  RateCounter c(s);
+  c.add(5.0);
+  s.run_until(2_s);
+  EXPECT_DOUBLE_EQ(c.per_second(), 2.5);
+  c.reset();
+  EXPECT_DOUBLE_EQ(c.per_second(), 0.0);
+  c.add(1.0);
+  s.run_until(3_s);
+  EXPECT_DOUBLE_EQ(c.per_second(), 1.0);  // baselined at reset
+}
+
+TEST(RegistryTest, NamedRecordersAreStable) {
+  sim::Simulation s;
+  MetricsRegistry reg(s);
+  reg.durations("a").record(1_ms);
+  EXPECT_EQ(&reg.durations("a"), &reg.durations("a"));
+  EXPECT_EQ(reg.durations("a").count(), 1u);
+  EXPECT_TRUE(reg.has_durations("a"));
+  EXPECT_FALSE(reg.has_durations("b"));
+}
+
+TEST(RegistryTest, ResetAllClearsEverything) {
+  sim::Simulation s;
+  MetricsRegistry reg(s);
+  reg.durations("d").record(1_ms);
+  reg.latency("l").record(2_ms);
+  reg.rate("r").add(3.0);
+  reg.reset_all();
+  EXPECT_EQ(reg.durations("d").count(), 0u);
+  EXPECT_EQ(reg.latency("l").count(), 0u);
+  EXPECT_DOUBLE_EQ(reg.rate("r").units(), 0.0);
+}
+
+TEST(TableTest, AlignedRendering) {
+  Table t("demo", {"app", "value"});
+  t.add_row({"lu", "0.15"});
+  t.add_row({"is", "0.62"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("== demo =="), std::string::npos);
+  EXPECT_NE(out.find("lu"), std::string::npos);
+  EXPECT_NE(out.find("0.62"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TableTest, CsvRendering) {
+  Table t("demo", {"a", "b"});
+  t.add_row({"1", "2"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(TableTest, ShortRowsArePadded) {
+  Table t("demo", {"a", "b", "c"});
+  t.add_row({"only"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b,c\nonly,,\n");
+}
+
+TEST(FmtTest, Formatting) {
+  EXPECT_EQ(fmt(0.12345), "0.123");
+  EXPECT_EQ(fmt(2.0, 1), "2.0");
+  EXPECT_EQ(fmt_ms(0.3), "0.3ms");
+  EXPECT_EQ(fmt_ms(30), "30ms");
+}
+
+}  // namespace
+}  // namespace atcsim::metrics

@@ -1,0 +1,271 @@
+// Unit tests for the simulation kernel: event queue ordering/cancellation,
+// simulation clock semantics, RNG determinism, and statistics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "simcore/event_queue.h"
+#include "simcore/parallel.h"
+#include "simcore/rng.h"
+#include "simcore/simulation.h"
+#include "simcore/stats.h"
+#include "simcore/time.h"
+
+namespace atcsim::sim {
+namespace {
+
+using namespace time_literals;
+
+TEST(TimeTest, Literals) {
+  EXPECT_EQ(1_us, 1000);
+  EXPECT_EQ(1_ms, 1'000'000);
+  EXPECT_EQ(1_s, 1'000'000'000);
+  EXPECT_DOUBLE_EQ(to_millis(30_ms), 30.0);
+  EXPECT_EQ(from_millis(0.3), 300'000);
+  EXPECT_EQ(from_micros(2.5), 2'500);
+}
+
+TEST(TimeTest, Format) {
+  EXPECT_EQ(format_time(500), "500ns");
+  EXPECT_EQ(format_time(30_ms), "30ms");
+  EXPECT_EQ(format_time(kTimeNever), "never");
+}
+
+TEST(EventQueueTest, OrdersByTime) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(30, [&] { order.push_back(3); });
+  q.schedule(10, [&] { order.push_back(1); });
+  q.schedule(20, [&] { order.push_back(2); });
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, TiesBreakByInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule(5, [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.pop().fn();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(EventQueueTest, CancelPreventsExecution) {
+  EventQueue q;
+  bool ran = false;
+  EventId id = q.schedule(10, [&] { ran = true; });
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(q.cancel(id));  // double-cancel
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventQueueTest, CancelAfterFireReturnsFalse) {
+  EventQueue q;
+  EventId id = q.schedule(10, [] {});
+  q.pop().fn();
+  EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueueTest, NextTimeSkipsCancelled) {
+  EventQueue q;
+  EventId early = q.schedule(10, [] {});
+  q.schedule(20, [] {});
+  q.cancel(early);
+  EXPECT_EQ(q.next_time(), 20);
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueueTest, InvalidIdCancelIsNoop) {
+  EventQueue q;
+  EXPECT_FALSE(q.cancel(EventId{}));
+}
+
+TEST(SimulationTest, RunUntilAdvancesClockToDeadline) {
+  Simulation s;
+  int fired = 0;
+  s.call_in(5_ms, [&] { ++fired; });
+  const auto executed = s.run_until(10_ms);
+  EXPECT_EQ(executed, 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(s.now(), 10_ms);
+}
+
+TEST(SimulationTest, EventsCanScheduleEvents) {
+  Simulation s;
+  std::vector<SimTime> at;
+  s.call_in(1_ms, [&] {
+    at.push_back(s.now());
+    s.call_in(2_ms, [&] { at.push_back(s.now()); });
+  });
+  s.run();
+  ASSERT_EQ(at.size(), 2u);
+  EXPECT_EQ(at[0], 1_ms);
+  EXPECT_EQ(at[1], 3_ms);
+}
+
+TEST(SimulationTest, DeadlineExcludesLaterEvents) {
+  Simulation s;
+  int fired = 0;
+  s.call_in(5_ms, [&] { ++fired; });
+  s.call_in(15_ms, [&] { ++fired; });
+  s.run_until(10_ms);
+  EXPECT_EQ(fired, 1);
+  s.run_until(20_ms);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulationTest, StopHaltsRun) {
+  Simulation s;
+  int fired = 0;
+  s.call_in(1_ms, [&] {
+    ++fired;
+    s.stop();
+  });
+  s.call_in(2_ms, [&] { ++fired; });
+  s.run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += a.next_u64() == b.next_u64();
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = r.uniform(2.0, 5.0);
+    EXPECT_GE(v, 2.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(RngTest, UniformIntInclusiveBounds) {
+  Rng r(7);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = r.uniform_int(0, 3);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == 0;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng r(11);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += r.exponential(4.0);
+  EXPECT_NEAR(sum / n, 4.0, 0.2);
+}
+
+TEST(RngTest, JitteredStaysNearBase) {
+  Rng r(3);
+  for (int i = 0; i < 1000; ++i) {
+    const SimTime v = r.jittered(1_ms, 0.1);
+    EXPECT_GE(v, from_millis(0.9));
+    EXPECT_LE(v, from_millis(1.1));
+  }
+}
+
+TEST(RngTest, SplitStreamsIndependent) {
+  Rng parent(5);
+  Rng a = parent.split(1);
+  Rng b = parent.split(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += a.next_u64() == b.next_u64();
+  EXPECT_LT(same, 3);
+}
+
+TEST(StatsTest, WelfordMeanVariance) {
+  OnlineStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_EQ(s.count(), 8u);
+}
+
+TEST(StatsTest, MergeMatchesCombined) {
+  OnlineStats a, b, all;
+  Rng r(9);
+  for (int i = 0; i < 500; ++i) {
+    const double v = r.normal(3.0, 2.0);
+    (i % 2 ? a : b).add(v);
+    all.add(v);
+  }
+  a.merge(b);
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-6);
+  EXPECT_EQ(a.count(), all.count());
+}
+
+TEST(StatsTest, EmptyStatsAreZero) {
+  OnlineStats s;
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.count(), 0u);
+}
+
+TEST(StatsTest, PearsonPerfectCorrelation) {
+  std::vector<double> xs = {1, 2, 3, 4, 5};
+  std::vector<double> ys = {2, 4, 6, 8, 10};
+  EXPECT_NEAR(pearson(xs, ys), 1.0, 1e-12);
+  std::vector<double> neg = {10, 8, 6, 4, 2};
+  EXPECT_NEAR(pearson(xs, neg), -1.0, 1e-12);
+}
+
+TEST(StatsTest, PearsonConstantSeriesIsZero) {
+  std::vector<double> xs = {1, 1, 1};
+  std::vector<double> ys = {2, 4, 6};
+  EXPECT_EQ(pearson(xs, ys), 0.0);
+}
+
+TEST(StatsTest, EuclideanDistance) {
+  std::vector<double> a = {0.0, 0.0};
+  std::vector<double> b = {3.0, 4.0};
+  EXPECT_DOUBLE_EQ(euclidean_distance(a, b), 5.0);
+}
+
+TEST(HistogramTest, QuantilesAndClamping) {
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 100; ++i) h.add(static_cast<double>(i) / 10.0);
+  h.add(-5.0);   // clamps into first bucket
+  h.add(100.0);  // clamps into last bucket
+  EXPECT_EQ(h.total(), 102u);
+  EXPECT_NEAR(h.quantile(0.5), 5.0, 1.0);
+  EXPECT_GE(h.quantile(1.0), 9.0);
+}
+
+TEST(ParallelTest, ParallelForCoversAllIndices) {
+  std::vector<int> hits(64, 0);
+  parallel_for(64, [&](std::size_t i) { hits[i] += 1; }, 4);
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ParallelTest, ThreadPoolRunsSubmittedTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&] { count.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+}  // namespace
+}  // namespace atcsim::sim

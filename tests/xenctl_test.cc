@@ -1,0 +1,146 @@
+// xenctl tests: the simulator backend and the `xl` toolstack wrapper
+// (command construction + output parsing against recorded xl output).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "sched/credit.h"
+#include "virt/platform.h"
+#include "xenctl/sim_backend.h"
+#include "xenctl/xl_backend.h"
+
+namespace atcsim::xenctl {
+namespace {
+
+using namespace sim::time_literals;
+
+class FakeRunner : public CommandRunner {
+ public:
+  Result run(const std::vector<std::string>& argv) override {
+    calls.push_back(argv);
+    return canned;
+  }
+  std::vector<std::vector<std::string>> calls;
+  Result canned;
+};
+
+constexpr const char* kXlList =
+    "Name                                        ID   Mem VCPUs\tState\t"
+    "Time(s)\n"
+    "Domain-0                                     0  4096     8     r-----  "
+    "  1234.5\n"
+    "atc-vm1                                      1  2048     8     -b----  "
+    "   17.2\n"
+    "atc-vm2                                      2  2048     8     r-----  "
+    "    9.9\n";
+
+TEST(XlParserTest, ParsesXlList) {
+  const auto domains = XlToolstackBackend::parse_xl_list(kXlList);
+  ASSERT_EQ(domains.size(), 3u);
+  EXPECT_EQ(domains[0].name, "Domain-0");
+  EXPECT_EQ(domains[0].domid, 0);
+  EXPECT_EQ(domains[0].vcpus, 8);
+  EXPECT_EQ(domains[1].name, "atc-vm1");
+  EXPECT_EQ(domains[1].state, "-b----");
+  EXPECT_EQ(domains[2].domid, 2);
+}
+
+TEST(XlParserTest, EmptyAndGarbageInput) {
+  EXPECT_TRUE(XlToolstackBackend::parse_xl_list("").empty());
+  EXPECT_TRUE(XlToolstackBackend::parse_xl_list("no header here\n").empty());
+}
+
+TEST(XlParserTest, ParsesSchedCreditTslice) {
+  const auto ms = XlToolstackBackend::parse_sched_credit(
+      "Cpupool Pool-0: tslice=30ms ratelimit=1000us migration-delay=0us\n");
+  ASSERT_TRUE(ms.has_value());
+  EXPECT_EQ(*ms, 30_ms);
+  const auto us = XlToolstackBackend::parse_sched_credit(
+      "Cpupool Pool-0: tslice=500us ratelimit=100us\n");
+  ASSERT_TRUE(us.has_value());
+  EXPECT_EQ(*us, 500_us);
+  EXPECT_FALSE(
+      XlToolstackBackend::parse_sched_credit("no tslice here").has_value());
+}
+
+TEST(XlBackendTest, SetGlobalSliceBuildsXlCommand) {
+  auto runner = std::make_unique<FakeRunner>();
+  FakeRunner* raw = runner.get();
+  XlToolstackBackend backend(std::move(runner));
+  EXPECT_TRUE(backend.set_global_time_slice(6_ms));
+  ASSERT_EQ(raw->calls.size(), 1u);
+  EXPECT_EQ(raw->calls[0],
+            (std::vector<std::string>{"xl", "sched-credit", "-s", "-t", "6"}));
+}
+
+TEST(XlBackendTest, SubMillisecondSliceClampsToXlMinimum) {
+  auto runner = std::make_unique<FakeRunner>();
+  FakeRunner* raw = runner.get();
+  XlToolstackBackend backend(std::move(runner));
+  backend.set_global_time_slice(300_us);
+  ASSERT_EQ(raw->calls.size(), 1u);
+  EXPECT_EQ(raw->calls[0].back(), "1");  // xl floor: 1 ms
+}
+
+TEST(XlBackendTest, PerDomainSliceRequiresPatchedHost) {
+  auto runner = std::make_unique<FakeRunner>();
+  XlToolstackBackend unpatched(std::move(runner));
+  EXPECT_FALSE(unpatched.set_domain_time_slice(3, 1_ms));
+
+  auto runner2 = std::make_unique<FakeRunner>();
+  FakeRunner* raw2 = runner2.get();
+  XlToolstackBackend::Options opts;
+  opts.assume_patched = true;
+  XlToolstackBackend patched(std::move(runner2), opts);
+  EXPECT_TRUE(patched.set_domain_time_slice(3, 1_ms));
+  ASSERT_EQ(raw2->calls.size(), 1u);
+  EXPECT_EQ(raw2->calls[0][0], "atc-tslice");
+  EXPECT_EQ(raw2->calls[0][2], "3");
+  EXPECT_EQ(raw2->calls[0][4], "1000");  // microseconds
+}
+
+TEST(XlBackendTest, FailedCommandPropagates) {
+  auto runner = std::make_unique<FakeRunner>();
+  runner->canned.exit_code = 1;
+  XlToolstackBackend backend(std::move(runner));
+  EXPECT_FALSE(backend.set_global_time_slice(6_ms));
+  EXPECT_TRUE(backend.list_domains().empty());
+  EXPECT_FALSE(backend.global_time_slice().has_value());
+}
+
+TEST(XlBackendTest, GlobalSliceRoundTrips) {
+  auto runner = std::make_unique<FakeRunner>();
+  runner->canned.output = "Cpupool Pool-0: tslice=6ms ratelimit=1000us\n";
+  XlToolstackBackend backend(std::move(runner));
+  const auto slice = backend.global_time_slice();
+  ASSERT_TRUE(slice.has_value());
+  EXPECT_EQ(*slice, 6_ms);
+}
+
+TEST(SimBackendTest, ListsAndControlsVms) {
+  sim::Simulation simulation;
+  virt::PlatformConfig pc;
+  pc.nodes = 1;
+  pc.pcpus_per_node = 2;
+  virt::Platform platform(simulation, pc);
+  platform.create_vm(virt::NodeId{0}, virt::VmType::kParallel, "par", 2);
+  SimBackend backend(platform);
+
+  const auto domains = backend.list_domains();
+  ASSERT_EQ(domains.size(), 2u);  // dom0 + guest
+  EXPECT_EQ(domains[0].name, "dom0-n0");
+  EXPECT_EQ(domains[1].name, "par");
+
+  EXPECT_TRUE(backend.set_domain_time_slice(1, 2_ms));
+  EXPECT_EQ(platform.vm(virt::VmId{1}).time_slice(), 2_ms);
+  EXPECT_FALSE(backend.set_domain_time_slice(99, 2_ms));
+
+  EXPECT_TRUE(backend.set_global_time_slice(5_ms));
+  EXPECT_EQ(platform.vm(virt::VmId{0}).time_slice(), 5_ms);
+  EXPECT_EQ(*backend.global_time_slice(), 5_ms);
+  // Below the platform's hypercall granularity: rejected.
+  EXPECT_FALSE(backend.set_global_time_slice(1));
+}
+
+}  // namespace
+}  // namespace atcsim::xenctl
