@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_cs_scalability.dir/fig01_cs_scalability.cc.o"
+  "CMakeFiles/fig01_cs_scalability.dir/fig01_cs_scalability.cc.o.d"
+  "fig01_cs_scalability"
+  "fig01_cs_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_cs_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_nonparallel_impact.dir/fig02_nonparallel_impact.cc.o"
+  "CMakeFiles/fig02_nonparallel_impact.dir/fig02_nonparallel_impact.cc.o.d"
+  "fig02_nonparallel_impact"
+  "fig02_nonparallel_impact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_nonparallel_impact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

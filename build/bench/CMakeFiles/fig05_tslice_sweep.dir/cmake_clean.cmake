@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_tslice_sweep.dir/fig05_tslice_sweep.cc.o"
+  "CMakeFiles/fig05_tslice_sweep.dir/fig05_tslice_sweep.cc.o.d"
+  "fig05_tslice_sweep"
+  "fig05_tslice_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_tslice_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

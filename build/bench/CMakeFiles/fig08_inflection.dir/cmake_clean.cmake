@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_inflection.dir/fig08_inflection.cc.o"
+  "CMakeFiles/fig08_inflection.dir/fig08_inflection.cc.o.d"
+  "fig08_inflection"
+  "fig08_inflection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_inflection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_nonparallel_tslice.dir/fig09_nonparallel_tslice.cc.o"
+  "CMakeFiles/fig09_nonparallel_tslice.dir/fig09_nonparallel_tslice.cc.o.d"
+  "fig09_nonparallel_tslice"
+  "fig09_nonparallel_tslice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_nonparallel_tslice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

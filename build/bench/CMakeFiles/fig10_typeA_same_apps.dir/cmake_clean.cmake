@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_typeA_same_apps.dir/fig10_typeA_same_apps.cc.o"
+  "CMakeFiles/fig10_typeA_same_apps.dir/fig10_typeA_same_apps.cc.o.d"
+  "fig10_typeA_same_apps"
+  "fig10_typeA_same_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_typeA_same_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig10_typeA_same_apps.
+# This may be replaced when dependencies are built.

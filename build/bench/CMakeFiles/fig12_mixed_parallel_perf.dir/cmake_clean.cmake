@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_mixed_parallel_perf.dir/fig12_mixed_parallel_perf.cc.o"
+  "CMakeFiles/fig12_mixed_parallel_perf.dir/fig12_mixed_parallel_perf.cc.o.d"
+  "fig12_mixed_parallel_perf"
+  "fig12_mixed_parallel_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_mixed_parallel_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

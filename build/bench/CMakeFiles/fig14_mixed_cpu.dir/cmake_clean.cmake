@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_mixed_cpu.dir/fig14_mixed_cpu.cc.o"
+  "CMakeFiles/fig14_mixed_cpu.dir/fig14_mixed_cpu.cc.o.d"
+  "fig14_mixed_cpu"
+  "fig14_mixed_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_mixed_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atcsim_cli.dir/atcsim_cli.cc.o"
+  "CMakeFiles/atcsim_cli.dir/atcsim_cli.cc.o.d"
+  "atcsim_cli"
+  "atcsim_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atcsim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cc" "examples/CMakeFiles/quickstart.dir/quickstart.cc.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cache/CMakeFiles/atcsim_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/atcsim_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/atcsim_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/atcsim_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/atcsim_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/atc/CMakeFiles/atcsim_atc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sync/CMakeFiles/atcsim_sync.dir/DependInfo.cmake"
+  "/root/repo/build/src/xenctl/CMakeFiles/atcsim_xenctl.dir/DependInfo.cmake"
+  "/root/repo/build/src/virt/CMakeFiles/atcsim_virt.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/atcsim_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcore/CMakeFiles/atcsim_simcore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

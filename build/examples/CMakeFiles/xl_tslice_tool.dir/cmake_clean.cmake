@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xl_tslice_tool.dir/xl_tslice_tool.cc.o"
+  "CMakeFiles/xl_tslice_tool.dir/xl_tslice_tool.cc.o.d"
+  "xl_tslice_tool"
+  "xl_tslice_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xl_tslice_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("simcore")
+subdirs("virt")
+subdirs("cache")
+subdirs("sync")
+subdirs("net")
+subdirs("sched")
+subdirs("workload")
+subdirs("atc")
+subdirs("cluster")
+subdirs("xenctl")
+subdirs("metrics")

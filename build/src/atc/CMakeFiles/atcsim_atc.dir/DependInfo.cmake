@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/atc/algorithm.cc" "src/atc/CMakeFiles/atcsim_atc.dir/algorithm.cc.o" "gcc" "src/atc/CMakeFiles/atcsim_atc.dir/algorithm.cc.o.d"
+  "/root/repo/src/atc/classifier.cc" "src/atc/CMakeFiles/atcsim_atc.dir/classifier.cc.o" "gcc" "src/atc/CMakeFiles/atcsim_atc.dir/classifier.cc.o.d"
+  "/root/repo/src/atc/controller.cc" "src/atc/CMakeFiles/atcsim_atc.dir/controller.cc.o" "gcc" "src/atc/CMakeFiles/atcsim_atc.dir/controller.cc.o.d"
+  "/root/repo/src/atc/threshold.cc" "src/atc/CMakeFiles/atcsim_atc.dir/threshold.cc.o" "gcc" "src/atc/CMakeFiles/atcsim_atc.dir/threshold.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/virt/CMakeFiles/atcsim_virt.dir/DependInfo.cmake"
+  "/root/repo/build/src/sync/CMakeFiles/atcsim_sync.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcore/CMakeFiles/atcsim_simcore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atcsim_atc.dir/algorithm.cc.o"
+  "CMakeFiles/atcsim_atc.dir/algorithm.cc.o.d"
+  "CMakeFiles/atcsim_atc.dir/classifier.cc.o"
+  "CMakeFiles/atcsim_atc.dir/classifier.cc.o.d"
+  "CMakeFiles/atcsim_atc.dir/controller.cc.o"
+  "CMakeFiles/atcsim_atc.dir/controller.cc.o.d"
+  "CMakeFiles/atcsim_atc.dir/threshold.cc.o"
+  "CMakeFiles/atcsim_atc.dir/threshold.cc.o.d"
+  "libatcsim_atc.a"
+  "libatcsim_atc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atcsim_atc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for atcsim_atc.
+# This may be replaced when dependencies are built.

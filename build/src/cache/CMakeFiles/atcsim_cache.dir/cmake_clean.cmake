@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atcsim_cache.dir/xenoprof.cc.o"
+  "CMakeFiles/atcsim_cache.dir/xenoprof.cc.o.d"
+  "libatcsim_cache.a"
+  "libatcsim_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atcsim_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libatcsim_cache.a"
+)

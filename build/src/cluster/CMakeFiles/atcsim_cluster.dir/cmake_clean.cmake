@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atcsim_cluster.dir/approach.cc.o"
+  "CMakeFiles/atcsim_cluster.dir/approach.cc.o.d"
+  "CMakeFiles/atcsim_cluster.dir/scenario.cc.o"
+  "CMakeFiles/atcsim_cluster.dir/scenario.cc.o.d"
+  "CMakeFiles/atcsim_cluster.dir/scenarios.cc.o"
+  "CMakeFiles/atcsim_cluster.dir/scenarios.cc.o.d"
+  "CMakeFiles/atcsim_cluster.dir/trace.cc.o"
+  "CMakeFiles/atcsim_cluster.dir/trace.cc.o.d"
+  "libatcsim_cluster.a"
+  "libatcsim_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atcsim_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

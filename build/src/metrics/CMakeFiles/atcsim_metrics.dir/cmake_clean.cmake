@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atcsim_metrics.dir/report.cc.o"
+  "CMakeFiles/atcsim_metrics.dir/report.cc.o.d"
+  "libatcsim_metrics.a"
+  "libatcsim_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atcsim_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

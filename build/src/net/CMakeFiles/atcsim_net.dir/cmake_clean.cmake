@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atcsim_net.dir/network.cc.o"
+  "CMakeFiles/atcsim_net.dir/network.cc.o.d"
+  "libatcsim_net.a"
+  "libatcsim_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atcsim_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

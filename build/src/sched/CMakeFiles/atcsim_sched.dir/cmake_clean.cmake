@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atcsim_sched.dir/coschedule.cc.o"
+  "CMakeFiles/atcsim_sched.dir/coschedule.cc.o.d"
+  "CMakeFiles/atcsim_sched.dir/credit.cc.o"
+  "CMakeFiles/atcsim_sched.dir/credit.cc.o.d"
+  "CMakeFiles/atcsim_sched.dir/dss.cc.o"
+  "CMakeFiles/atcsim_sched.dir/dss.cc.o.d"
+  "libatcsim_sched.a"
+  "libatcsim_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atcsim_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atcsim_simcore.dir/event_queue.cc.o"
+  "CMakeFiles/atcsim_simcore.dir/event_queue.cc.o.d"
+  "CMakeFiles/atcsim_simcore.dir/log.cc.o"
+  "CMakeFiles/atcsim_simcore.dir/log.cc.o.d"
+  "CMakeFiles/atcsim_simcore.dir/parallel.cc.o"
+  "CMakeFiles/atcsim_simcore.dir/parallel.cc.o.d"
+  "CMakeFiles/atcsim_simcore.dir/rng.cc.o"
+  "CMakeFiles/atcsim_simcore.dir/rng.cc.o.d"
+  "CMakeFiles/atcsim_simcore.dir/simulation.cc.o"
+  "CMakeFiles/atcsim_simcore.dir/simulation.cc.o.d"
+  "CMakeFiles/atcsim_simcore.dir/stats.cc.o"
+  "CMakeFiles/atcsim_simcore.dir/stats.cc.o.d"
+  "libatcsim_simcore.a"
+  "libatcsim_simcore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atcsim_simcore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atcsim_sync.dir/period_monitor.cc.o"
+  "CMakeFiles/atcsim_sync.dir/period_monitor.cc.o.d"
+  "libatcsim_sync.a"
+  "libatcsim_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atcsim_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/virt/engine.cc" "src/virt/CMakeFiles/atcsim_virt.dir/engine.cc.o" "gcc" "src/virt/CMakeFiles/atcsim_virt.dir/engine.cc.o.d"
+  "/root/repo/src/virt/platform.cc" "src/virt/CMakeFiles/atcsim_virt.dir/platform.cc.o" "gcc" "src/virt/CMakeFiles/atcsim_virt.dir/platform.cc.o.d"
+  "/root/repo/src/virt/sync_event.cc" "src/virt/CMakeFiles/atcsim_virt.dir/sync_event.cc.o" "gcc" "src/virt/CMakeFiles/atcsim_virt.dir/sync_event.cc.o.d"
+  "/root/repo/src/virt/vm.cc" "src/virt/CMakeFiles/atcsim_virt.dir/vm.cc.o" "gcc" "src/virt/CMakeFiles/atcsim_virt.dir/vm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simcore/CMakeFiles/atcsim_simcore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

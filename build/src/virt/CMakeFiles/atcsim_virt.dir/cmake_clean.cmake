@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atcsim_virt.dir/engine.cc.o"
+  "CMakeFiles/atcsim_virt.dir/engine.cc.o.d"
+  "CMakeFiles/atcsim_virt.dir/platform.cc.o"
+  "CMakeFiles/atcsim_virt.dir/platform.cc.o.d"
+  "CMakeFiles/atcsim_virt.dir/sync_event.cc.o"
+  "CMakeFiles/atcsim_virt.dir/sync_event.cc.o.d"
+  "CMakeFiles/atcsim_virt.dir/vm.cc.o"
+  "CMakeFiles/atcsim_virt.dir/vm.cc.o.d"
+  "libatcsim_virt.a"
+  "libatcsim_virt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atcsim_virt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

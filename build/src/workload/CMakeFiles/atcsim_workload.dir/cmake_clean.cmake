@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atcsim_workload.dir/apps.cc.o"
+  "CMakeFiles/atcsim_workload.dir/apps.cc.o.d"
+  "CMakeFiles/atcsim_workload.dir/bsp_app.cc.o"
+  "CMakeFiles/atcsim_workload.dir/bsp_app.cc.o.d"
+  "CMakeFiles/atcsim_workload.dir/npb_profiles.cc.o"
+  "CMakeFiles/atcsim_workload.dir/npb_profiles.cc.o.d"
+  "libatcsim_workload.a"
+  "libatcsim_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atcsim_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

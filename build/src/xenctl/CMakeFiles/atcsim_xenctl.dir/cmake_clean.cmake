@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atcsim_xenctl.dir/sim_backend.cc.o"
+  "CMakeFiles/atcsim_xenctl.dir/sim_backend.cc.o.d"
+  "CMakeFiles/atcsim_xenctl.dir/xl_backend.cc.o"
+  "CMakeFiles/atcsim_xenctl.dir/xl_backend.cc.o.d"
+  "libatcsim_xenctl.a"
+  "libatcsim_xenctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atcsim_xenctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

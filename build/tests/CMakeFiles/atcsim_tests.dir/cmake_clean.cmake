@@ -1,0 +1,34 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atcsim_tests.dir/atc_test.cc.o"
+  "CMakeFiles/atcsim_tests.dir/atc_test.cc.o.d"
+  "CMakeFiles/atcsim_tests.dir/bsp_rounds_test.cc.o"
+  "CMakeFiles/atcsim_tests.dir/bsp_rounds_test.cc.o.d"
+  "CMakeFiles/atcsim_tests.dir/cluster_test.cc.o"
+  "CMakeFiles/atcsim_tests.dir/cluster_test.cc.o.d"
+  "CMakeFiles/atcsim_tests.dir/engine_test.cc.o"
+  "CMakeFiles/atcsim_tests.dir/engine_test.cc.o.d"
+  "CMakeFiles/atcsim_tests.dir/extensions_test.cc.o"
+  "CMakeFiles/atcsim_tests.dir/extensions_test.cc.o.d"
+  "CMakeFiles/atcsim_tests.dir/integration_test.cc.o"
+  "CMakeFiles/atcsim_tests.dir/integration_test.cc.o.d"
+  "CMakeFiles/atcsim_tests.dir/metrics_test.cc.o"
+  "CMakeFiles/atcsim_tests.dir/metrics_test.cc.o.d"
+  "CMakeFiles/atcsim_tests.dir/net_test.cc.o"
+  "CMakeFiles/atcsim_tests.dir/net_test.cc.o.d"
+  "CMakeFiles/atcsim_tests.dir/sched_test.cc.o"
+  "CMakeFiles/atcsim_tests.dir/sched_test.cc.o.d"
+  "CMakeFiles/atcsim_tests.dir/simcore_test.cc.o"
+  "CMakeFiles/atcsim_tests.dir/simcore_test.cc.o.d"
+  "CMakeFiles/atcsim_tests.dir/workload_test.cc.o"
+  "CMakeFiles/atcsim_tests.dir/workload_test.cc.o.d"
+  "CMakeFiles/atcsim_tests.dir/xenctl_test.cc.o"
+  "CMakeFiles/atcsim_tests.dir/xenctl_test.cc.o.d"
+  "atcsim_tests"
+  "atcsim_tests.pdb"
+  "atcsim_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atcsim_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
