@@ -1,48 +1,27 @@
-// Shared helpers for the figure-reproduction harnesses.
+// Thin wrapper for the figure-reproduction harnesses.
 //
-// Every bench binary regenerates one table/figure of the paper.  Durations
-// default to values that finish in seconds; set ATCSIM_BENCH_SCALE=N (e.g. 3)
-// to multiply the measurement windows for tighter statistics.
+// The real helpers live in the experiment-runner library (src/exp/): sweep
+// declaration + parallel cached execution in exp/runner.h, JSONL/CSV output
+// in exp/emit.h, and the scale/banner/slice utilities in exp/bench_util.h.
 #pragma once
 
 #include <cstdio>
-#include <cstdlib>
 #include <iostream>
-#include <string>
 
 #include "cluster/scenario.h"
 #include "cluster/scenarios.h"
+#include "exp/bench_util.h"
+#include "exp/emit.h"
+#include "exp/runner.h"
 #include "metrics/report.h"
 
 namespace atcsim::bench {
 
 using namespace sim::time_literals;
 
-inline double scale_factor() {
-  const char* env = std::getenv("ATCSIM_BENCH_SCALE");
-  if (env == nullptr) return 1.0;
-  const double v = std::atof(env);
-  return v > 0.0 ? v : 1.0;
-}
-
-inline sim::SimTime scaled(sim::SimTime base) {
-  return static_cast<sim::SimTime>(static_cast<double>(base) *
-                                   scale_factor());
-}
-
-inline void banner(const std::string& what, const std::string& setup) {
-  std::printf("atcsim bench: %s\n  setup: %s\n  (simulated platform; shapes "
-              "reproduce the paper, absolute values are model-relative)\n\n",
-              what.c_str(), setup.c_str());
-}
-
-/// Sets a fixed time slice on every guest VM (the Sec. II / Fig. 5 global
-/// "xl sched-credit -t"-style sweep control).
-inline void set_global_guest_slice(cluster::Scenario& s, sim::SimTime slice) {
-  for (std::size_t i = 0; i < s.platform().vm_count(); ++i) {
-    virt::Vm& vm = s.platform().vm(virt::VmId{static_cast<int>(i)});
-    if (!vm.is_dom0()) vm.set_time_slice(slice);
-  }
-}
+using exp::banner;
+using exp::scale_factor;
+using exp::scaled;
+using exp::set_global_guest_slice;
 
 }  // namespace atcsim::bench

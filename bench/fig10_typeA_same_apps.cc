@@ -5,43 +5,57 @@
 // Paper shape: ATC best and flat across scales (e.g. lu 0.15 at 8 nodes);
 // CS between BS and ATC and degrading with scale; BS only marginally better
 // than CR; DSS between CS and ATC.
+//
+// The (app x approach x nodes) grid — CR baselines included — runs through
+// the experiment runner: parallel across host cores and cached on disk.
+#include <map>
+#include <utility>
+
 #include "bench_common.h"
 
 using namespace atcsim;
 using namespace atcsim::bench;
 
-namespace {
-
-double run(const std::string& app, cluster::Approach a, int nodes) {
-  cluster::Scenario::Setup setup;
-  setup.nodes = nodes;
-  setup.approach = a;
-  setup.seed = 42;
-  cluster::Scenario s(setup);
-  cluster::build_type_a(s, app, workload::NpbClass::kB);
-  s.start();
-  s.warmup_and_measure(scaled(2_s), scaled(5_s));
-  return s.mean_superstep_with_prefix(app);
-}
-
-}  // namespace
-
 int main() {
   banner("Figure 10 — type A: same app on four virtual clusters, 2-32 nodes",
          "N nodes x 4x8-VCPU VMs (4:1), normalized execution time vs CR");
-  const std::vector<cluster::Approach> approaches = {
+  const std::vector<cluster::Approach> columns = {
       cluster::Approach::kBS, cluster::Approach::kCS, cluster::Approach::kDSS,
       cluster::Approach::kATC};
-  const std::vector<int> scales = {2, 4, 8, 16, 32};
 
-  for (const auto& app : workload::npb_apps()) {
+  exp::SweepSpec spec;
+  spec.name = "fig10_typeA_same_apps";
+  spec.apps = workload::npb_apps();
+  spec.classes = {workload::NpbClass::kB};
+  spec.approaches = {cluster::Approach::kCR, cluster::Approach::kBS,
+                     cluster::Approach::kCS, cluster::Approach::kDSS,
+                     cluster::Approach::kATC};
+  spec.nodes = {2, 4, 8, 16, 32};
+  spec.vcpus_per_vm = {8};
+  spec.seeds = {42};
+  spec.warmup = scaled(2_s);
+  spec.measure = scaled(5_s);
+
+  const auto results = exp::run_sweep(
+      spec, [](const exp::Trial& t) { return exp::run_type_a_trial(t); });
+  const auto trials = exp::expand(spec);
+  std::map<std::pair<std::string, std::pair<int, int>>, double> exec;
+  for (const exp::Trial& t : trials) {
+    exec[{t.app, {static_cast<int>(t.approach), t.nodes}}] =
+        results[static_cast<std::size_t>(t.id)].metrics.at("superstep_s");
+  }
+  auto cell = [&](const std::string& app, cluster::Approach a, int nodes) {
+    return exec.at({app, {static_cast<int>(a), nodes}});
+  };
+
+  for (const auto& app : spec.apps) {
     metrics::Table t("Fig. 10 (" + app + ".B): normalized exec time vs CR",
                      {"nodes", "BS", "CS", "DSS", "ATC"});
-    for (int nodes : scales) {
-      const double cr = run(app, cluster::Approach::kCR, nodes);
+    for (int nodes : spec.nodes) {
+      const double cr = cell(app, cluster::Approach::kCR, nodes);
       std::vector<std::string> row = {std::to_string(nodes)};
-      for (cluster::Approach a : approaches) {
-        row.push_back(metrics::fmt(run(app, a, nodes) / cr));
+      for (cluster::Approach a : columns) {
+        row.push_back(metrics::fmt(cell(app, a, nodes) / cr));
       }
       t.add_row(std::move(row));
     }
@@ -50,5 +64,6 @@ int main() {
   std::printf("expected shape: ATC lowest and ~flat; CS rises with scale; "
               "BS close to 1 (paper example, lu @ 8 nodes: BS 0.85, CS 0.38, "
               "ATC 0.15)\n");
+  exp::emit_results_env(spec, results);
   return 0;
 }

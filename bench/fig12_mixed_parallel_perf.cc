@@ -13,10 +13,7 @@ int main() {
   banner("Figure 12 — parallel performance in the mixed scenario",
          "32 nodes, type-B virtual clusters + web/bonnie/SPEC/stream/ping "
          "independents");
-  std::map<std::string, MixedResult> results;
-  for (const MixedVariant& v : mixed_variants()) {
-    results.emplace(v.label, run_mixed(v));
-  }
+  const std::map<std::string, MixedResult> results = run_mixed_all();
   const MixedResult& cr = results.at("CR");
 
   metrics::Table t("Fig. 12: normalized exec time of the virtual clusters "

@@ -11,10 +11,7 @@ using namespace atcsim::bench;
 int main() {
   banner("Figure 14 — SPEC CPU applications in the mixed scenario",
          "32 nodes, type-B virtual clusters + non-parallel independents");
-  std::map<std::string, MixedResult> results;
-  for (const MixedVariant& v : mixed_variants()) {
-    results.emplace(v.label, run_mixed(v));
-  }
+  const std::map<std::string, MixedResult> results = run_mixed_all();
   const MixedResult& cr = results.at("CR");
   const auto& layout = cr.layout;
 

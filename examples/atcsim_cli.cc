@@ -1,20 +1,23 @@
-// atcsim_cli — run a single scenario from the command line.
+// atcsim_cli — run a single scenario (or a small repetition sweep) from the
+// command line.
 //
 //   $ ./atcsim_cli --app lu --class B --nodes 8 --approach ATC \
-//                  --warmup-s 2 --measure-s 6 [--slice-ms 0.3] [--csv]
+//                  --warmup-s 2 --measure-s 6 [--slice-ms 0.3] [--reps 3] \
+//                  [--threads N] [--no-cache] [--csv] [--jsonl out.jsonl]
 //
 // Builds evaluation type A (four identical virtual clusters of the chosen
-// app) on the requested platform, runs it, and prints the key metrics —
-// or a CSV row for scripting sweeps.  This is the fourth example and the
-// recommended starting point for exploring the model interactively.
+// app) through cluster::ScenarioBuilder and executes it via the experiment
+// runner (src/exp/): repetitions run in parallel and results are cached
+// under .atcsim-cache/, so re-running an explored configuration is free.
 #include <cstdio>
 #include <cstring>
 #include <iostream>
 #include <optional>
 #include <string>
 
-#include "cluster/scenario.h"
 #include "cluster/scenarios.h"
+#include "exp/emit.h"
+#include "exp/runner.h"
 #include "metrics/report.h"
 
 using namespace atcsim;
@@ -32,7 +35,11 @@ struct Args {
   double measure_s = 5.0;
   std::optional<double> slice_ms;  // fixed global slice (overrides approach)
   std::uint64_t seed = 42;
+  int reps = 1;
+  std::size_t threads = 0;
   bool csv = false;
+  bool no_cache = false;
+  std::string jsonl_path;
   bool auto_classify = false;
 };
 
@@ -42,7 +49,8 @@ void usage() {
       "usage: atcsim_cli [--app lu|is|sp|bt|mg|cg] [--class A|B|C]\n"
       "                  [--nodes N] [--vcpus N] [--approach CR|CS|BS|DSS|VS|ATC]\n"
       "                  [--slice-ms X] [--warmup-s X] [--measure-s X]\n"
-      "                  [--seed N] [--auto-classify] [--csv]\n");
+      "                  [--seed N] [--reps N] [--threads N] [--no-cache]\n"
+      "                  [--auto-classify] [--csv] [--jsonl PATH]\n");
 }
 
 std::optional<Args> parse(int argc, char** argv) {
@@ -94,15 +102,31 @@ std::optional<Args> parse(int argc, char** argv) {
       const char* v = value();
       if (v == nullptr) return std::nullopt;
       a.seed = static_cast<std::uint64_t>(std::atoll(v));
+    } else if (flag == "--reps") {
+      const char* v = value();
+      if (v == nullptr) return std::nullopt;
+      a.reps = std::atoi(v);
+    } else if (flag == "--threads") {
+      const char* v = value();
+      if (v == nullptr) return std::nullopt;
+      a.threads = static_cast<std::size_t>(std::atoll(v));
     } else if (flag == "--csv") {
       a.csv = true;
+    } else if (flag == "--no-cache") {
+      a.no_cache = true;
+    } else if (flag == "--jsonl") {
+      const char* v = value();
+      if (v == nullptr) return std::nullopt;
+      a.jsonl_path = v;
     } else if (flag == "--auto-classify") {
       a.auto_classify = true;
     } else {
       return std::nullopt;
     }
   }
-  if (a.nodes <= 0 || a.vcpus <= 0 || a.measure_s <= 0) return std::nullopt;
+  if (a.nodes <= 0 || a.vcpus <= 0 || a.measure_s <= 0 || a.reps <= 0) {
+    return std::nullopt;
+  }
   return a;
 }
 
@@ -127,56 +151,78 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  cluster::Scenario::Setup setup;
-  setup.nodes = args->nodes;
-  setup.vcpus_per_vm = args->vcpus;
-  setup.approach = *approach;
-  setup.seed = args->seed;
-  setup.atc.auto_classify = args->auto_classify;
-  cluster::Scenario s(setup);
+  exp::SweepSpec spec;
+  spec.name = "atcsim_cli";
+  if (args->auto_classify) spec.tag = "auto-classify";
+  spec.apps = {args->app};
+  spec.classes = {args->cls};
+  spec.approaches = {*approach};
+  spec.nodes = {args->nodes};
+  spec.vcpus_per_vm = {args->vcpus};
+  spec.slices = {args->slice_ms ? sim::from_millis(*args->slice_ms)
+                                : exp::kAdaptiveSlice};
+  spec.seeds = {args->seed};
+  spec.repetitions = args->reps;
+  spec.warmup = static_cast<sim::SimTime>(args->warmup_s * 1e9);
+  spec.measure = static_cast<sim::SimTime>(args->measure_s * 1e9);
+
+  atc::AtcConfig atc_cfg;
+  atc_cfg.auto_classify = args->auto_classify;
+
+  exp::RunOptions opts;
+  opts.threads = args->threads;
+  opts.use_cache = !args->no_cache;
+  opts.progress = !args->csv;
+
+  std::vector<exp::TrialResult> results;
   try {
-    cluster::build_type_a(s, args->app, args->cls);
+    results = exp::run_sweep(
+        spec,
+        [&](const exp::Trial& t) { return exp::run_type_a_trial(t, atc_cfg); },
+        opts);
   } catch (const std::invalid_argument& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 2;
   }
-  s.start();
-  if (args->slice_ms) {
-    for (std::size_t i = 0; i < s.platform().vm_count(); ++i) {
-      virt::Vm& vm = s.platform().vm(virt::VmId{static_cast<int>(i)});
-      if (!vm.is_dom0()) vm.set_time_slice(sim::from_millis(*args->slice_ms));
-    }
-  }
-  s.warmup_and_measure(static_cast<sim::SimTime>(args->warmup_s * 1e9),
-                       static_cast<sim::SimTime>(args->measure_s * 1e9));
 
-  const std::string prefix = args->app + workload::npb_class_suffix(args->cls);
-  const double superstep = s.mean_superstep_with_prefix(prefix);
-  const double spin = s.avg_parallel_spin_latency();
-  const double miss_rate = s.llc_miss_rate();
-  const auto events = s.simulation().events_executed();
+  if (!args->jsonl_path.empty() &&
+      !exp::write_jsonl_file(args->jsonl_path, spec, results)) {
+    std::fprintf(stderr, "error: cannot write %s\n",
+                 args->jsonl_path.c_str());
+    return 1;
+  }
 
   if (args->csv) {
-    std::printf("app,class,nodes,approach,slice_ms,superstep_ms,spin_ms,"
-                "llc_miss_per_s,events\n");
-    std::printf("%s,%c,%d,%s,%s,%.4f,%.4f,%.0f,%llu\n", args->app.c_str(),
-                "ABC"[static_cast<int>(args->cls)], args->nodes,
-                args->approach.c_str(),
-                args->slice_ms ? metrics::fmt(*args->slice_ms, 3).c_str()
-                               : "adaptive",
-                superstep * 1e3, spin * 1e3, miss_rate,
-                static_cast<unsigned long long>(events));
+    exp::write_csv(std::cout, spec, results);
     return 0;
   }
 
+  // Mean across repetitions for the human-readable summary.
+  double superstep = 0, spin = 0, miss_rate = 0, events = 0;
+  for (const auto& r : results) {
+    superstep += r.metrics.at("superstep_s");
+    spin += r.metrics.at("spin_s");
+    miss_rate += r.metrics.at("llc_miss_per_s");
+    events += r.metrics.at("events");
+  }
+  const auto n = static_cast<double>(results.size());
+  superstep /= n;
+  spin /= n;
+  miss_rate /= n;
+
+  const std::string prefix = args->app + workload::npb_class_suffix(args->cls);
   metrics::Table t("atcsim_cli: " + prefix + " on " +
                        std::to_string(args->nodes) + " nodes under " +
-                       args->approach,
+                       args->approach +
+                       (args->reps > 1
+                            ? " (mean of " + std::to_string(args->reps) +
+                                  " reps)"
+                            : ""),
                    {"metric", "value"});
   t.add_row({"mean superstep (ms)", metrics::fmt(superstep * 1e3, 2)});
   t.add_row({"avg spin latency (ms)", metrics::fmt(spin * 1e3, 2)});
   t.add_row({"LLC misses/s", metrics::fmt(miss_rate / 1e6, 1) + "M"});
-  t.add_row({"simulation events", std::to_string(events)});
+  t.add_row({"simulation events", metrics::fmt(events / n, 0)});
   t.print(std::cout);
   return 0;
 }

@@ -1,6 +1,8 @@
 #include "cluster/scenario.h"
 
 #include <cassert>
+#include <stdexcept>
+#include <string>
 
 namespace atcsim::cluster {
 
@@ -202,6 +204,31 @@ double Scenario::llc_miss_rate() {
   const SimTime span = simulation_.now() - stats_reset_at_;
   if (span <= 0) return 0.0;
   return static_cast<double>(misses - llc_baseline_) / sim::to_seconds(span);
+}
+
+Scenario::Setup ScenarioBuilder::validated() const {
+  auto require_positive = [](int v, const char* what) {
+    if (v <= 0) {
+      throw std::invalid_argument(std::string(what) + " must be positive, got " +
+                                  std::to_string(v));
+    }
+  };
+  require_positive(setup_.nodes, "nodes");
+  require_positive(setup_.pcpus_per_node, "pcpus_per_node");
+  require_positive(setup_.vms_per_node, "vms_per_node");
+  require_positive(setup_.vcpus_per_vm, "vcpus_per_vm");
+  if (!allow_wide_vms_ && setup_.vcpus_per_vm > setup_.pcpus_per_node) {
+    throw std::invalid_argument(
+        "vcpus_per_vm (" + std::to_string(setup_.vcpus_per_vm) +
+        ") exceeds pcpus_per_node (" + std::to_string(setup_.pcpus_per_node) +
+        "); a VM wider than its host cannot run all VCPUs concurrently — "
+        "call allow_wide_vms() if this overcommit is intentional");
+  }
+  return setup_;
+}
+
+std::unique_ptr<Scenario> ScenarioBuilder::build() const {
+  return std::make_unique<Scenario>(validated());
 }
 
 }  // namespace atcsim::cluster

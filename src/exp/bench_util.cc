@@ -1,0 +1,33 @@
+#include "exp/bench_util.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace atcsim::exp {
+
+double scale_factor() {
+  const char* env = std::getenv("ATCSIM_BENCH_SCALE");
+  if (env == nullptr) return 1.0;
+  const double v = std::atof(env);
+  return v > 0.0 ? v : 1.0;
+}
+
+sim::SimTime scaled(sim::SimTime base) {
+  return static_cast<sim::SimTime>(static_cast<double>(base) *
+                                   scale_factor());
+}
+
+void banner(const std::string& what, const std::string& setup) {
+  std::printf("atcsim bench: %s\n  setup: %s\n  (simulated platform; shapes "
+              "reproduce the paper, absolute values are model-relative)\n\n",
+              what.c_str(), setup.c_str());
+}
+
+void set_global_guest_slice(cluster::Scenario& s, sim::SimTime slice) {
+  for (std::size_t i = 0; i < s.platform().vm_count(); ++i) {
+    virt::Vm& vm = s.platform().vm(virt::VmId{static_cast<int>(i)});
+    if (!vm.is_dom0()) vm.set_time_slice(slice);
+  }
+}
+
+}  // namespace atcsim::exp

@@ -1,0 +1,28 @@
+// Shared harness helpers (formerly duplicated in bench/bench_common.h).
+//
+// Durations default to values that finish in seconds; set
+// ATCSIM_BENCH_SCALE=N (e.g. 3) to multiply the measurement windows for
+// tighter statistics.
+#pragma once
+
+#include <string>
+
+#include "cluster/scenario.h"
+#include "simcore/time.h"
+
+namespace atcsim::exp {
+
+/// ATCSIM_BENCH_SCALE multiplier (1.0 when unset or invalid).
+double scale_factor();
+
+/// `base` scaled by scale_factor().
+sim::SimTime scaled(sim::SimTime base);
+
+/// Standard bench preamble on stdout.
+void banner(const std::string& what, const std::string& setup);
+
+/// Sets a fixed time slice on every guest VM (the Sec. II / Fig. 5 global
+/// "xl sched-credit -t"-style sweep control).
+void set_global_guest_slice(cluster::Scenario& s, sim::SimTime slice);
+
+}  // namespace atcsim::exp

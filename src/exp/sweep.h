@@ -1,0 +1,96 @@
+// Declarative experiment sweeps.
+//
+// A SweepSpec is the cartesian grid every figure harness used to hand-roll:
+// (approach x app x NPB class x nodes x vcpus x slice x seed x repetition).
+// expand() turns it into a flat list of independent Trials with stable ids
+// and deterministic per-trial seeds; the runner (runner.h) executes them in
+// parallel and the emitters (emit.h) serialize the results.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cluster/approach.h"
+#include "simcore/time.h"
+#include "workload/npb_profiles.h"
+
+namespace atcsim::exp {
+
+/// Slice value meaning "leave the slice to the approach" (no global
+/// "xl sched-credit -t"-style override).
+inline constexpr sim::SimTime kAdaptiveSlice = -1;
+
+/// Cartesian experiment grid.  Every axis is a list; expand() produces the
+/// full product in a fixed nesting order (apps outermost, repetitions
+/// innermost), so trial ids are stable for a given spec.
+struct SweepSpec {
+  std::string name = "sweep";  ///< cache namespace + emitter file stem
+  std::string tag;             ///< extra cache salt for off-grid knobs
+
+  std::vector<std::string> apps = {"lu"};
+  std::vector<workload::NpbClass> classes = {workload::NpbClass::kB};
+  std::vector<cluster::Approach> approaches = {cluster::Approach::kCR};
+  std::vector<int> nodes = {2};
+  std::vector<int> vcpus_per_vm = {8};
+  std::vector<sim::SimTime> slices = {kAdaptiveSlice};
+  std::vector<std::uint64_t> seeds = {42};
+  int repetitions = 1;
+
+  int vms_per_node = 4;
+  int pcpus_per_node = 8;
+  sim::SimTime warmup = sim::kSecond;
+  sim::SimTime measure = 5 * sim::kSecond;
+
+  std::size_t grid_size() const;
+};
+
+/// One cell of the grid: everything a trial function needs to build and run
+/// a Scenario, plus the derived per-trial RNG seed.
+struct Trial {
+  int id = 0;
+  std::string app;
+  workload::NpbClass cls = workload::NpbClass::kB;
+  cluster::Approach approach = cluster::Approach::kCR;
+  int nodes = 2;
+  int vcpus = 8;
+  int vms_per_node = 4;
+  int pcpus_per_node = 8;
+  sim::SimTime slice = kAdaptiveSlice;
+  std::uint64_t base_seed = 42;
+  int rep = 0;
+  sim::SimTime warmup = sim::kSecond;
+  sim::SimTime measure = 5 * sim::kSecond;
+
+  /// Scenario seed: splitmix of (base_seed, rep), so repetitions are
+  /// independent streams and rep 0 of seed S != rep 1 of seed S.
+  std::uint64_t seed() const;
+
+  /// Human-readable cell label, e.g. "lu.B/ATC/n8/v8/adaptive/s42/r0".
+  std::string label() const;
+};
+
+/// Flat metric bundle produced by running one trial.
+struct TrialResult {
+  int trial_id = -1;
+  bool from_cache = false;
+  std::map<std::string, double> metrics;
+};
+
+/// Expands the grid; result[i].id == i.
+std::vector<Trial> expand(const SweepSpec& spec);
+
+/// Content hash over the spec-level knobs that affect every trial's outcome
+/// (name, tag, durations, platform shape, model schema version).  Cache
+/// directory name; intentionally excludes the axis lists so overlapping
+/// sweeps share cached trials.
+std::uint64_t spec_hash(const SweepSpec& spec);
+
+/// Content hash of one trial's own configuration (cache file name).
+std::uint64_t trial_hash(const Trial& t);
+
+/// Fixed-width lowercase hex of a hash value.
+std::string hash_hex(std::uint64_t h);
+
+}  // namespace atcsim::exp

@@ -4,7 +4,8 @@
 
 namespace atcsim::sim {
 
-ThreadPool::ThreadPool(std::size_t threads) {
+ThreadPool::ThreadPool(std::size_t threads, std::size_t max_queued)
+    : max_queued_(max_queued) {
   if (threads == 0) {
     threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   }
@@ -20,12 +21,19 @@ ThreadPool::~ThreadPool() {
     shutdown_ = true;
   }
   cv_task_.notify_all();
+  cv_space_.notify_all();
   for (auto& w : workers_) w.join();
 }
 
 void ThreadPool::submit(std::function<void()> task) {
   {
-    std::lock_guard lock(mu_);
+    std::unique_lock lock(mu_);
+    if (max_queued_ > 0) {
+      cv_space_.wait(lock, [this] {
+        return shutdown_ || tasks_.size() < max_queued_;
+      });
+      if (shutdown_) return;  // pool tearing down; drop the task
+    }
     tasks_.push(std::move(task));
     ++in_flight_;
   }
@@ -35,6 +43,13 @@ void ThreadPool::submit(std::function<void()> task) {
 void ThreadPool::wait_idle() {
   std::unique_lock lock(mu_);
   cv_idle_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+std::vector<std::exception_ptr> ThreadPool::take_exceptions() {
+  std::lock_guard lock(mu_);
+  std::vector<std::exception_ptr> out;
+  out.swap(exceptions_);
+  return out;
 }
 
 void ThreadPool::worker_loop() {
@@ -47,9 +62,16 @@ void ThreadPool::worker_loop() {
       task = std::move(tasks_.front());
       tasks_.pop();
     }
-    task();
+    cv_space_.notify_one();
+    std::exception_ptr error;
+    try {
+      task();
+    } catch (...) {
+      error = std::current_exception();
+    }
     {
       std::lock_guard lock(mu_);
+      if (error) exceptions_.push_back(std::move(error));
       --in_flight_;
       if (in_flight_ == 0) cv_idle_.notify_all();
     }
@@ -68,6 +90,8 @@ void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
     pool.submit([&body, i] { body(i); });
   }
   pool.wait_idle();
+  auto errors = pool.take_exceptions();
+  if (!errors.empty()) std::rethrow_exception(errors.front());
 }
 
 }  // namespace atcsim::sim

@@ -7,6 +7,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -15,12 +16,17 @@
 
 namespace atcsim::sim {
 
-/// Fixed-size thread pool.  Tasks must not throw (simulation code reports
-/// failures through results, not exceptions).
+/// Fixed-size thread pool.  A task that throws does not kill its worker:
+/// the exception is captured and handed back via take_exceptions() after
+/// wait_idle(), so a sweep drains fully before failures surface.
 class ThreadPool {
  public:
   /// `threads == 0` selects std::thread::hardware_concurrency() (min 1).
-  explicit ThreadPool(std::size_t threads = 0);
+  /// `max_queued` bounds the task queue; submit() blocks while the queue is
+  /// full (backpressure for producers that enqueue faster than workers
+  /// drain).  0 means unbounded.  Only external threads may submit; a task
+  /// submitting into its own full pool would deadlock.
+  explicit ThreadPool(std::size_t threads = 0, std::size_t max_queued = 0);
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -28,8 +34,12 @@ class ThreadPool {
 
   void submit(std::function<void()> task);
 
-  /// Blocks until all submitted tasks have completed.
+  /// Blocks until all submitted tasks have completed (or thrown).
   void wait_idle();
+
+  /// Exceptions captured from completed tasks since the last call, in
+  /// completion order.  Call after wait_idle().
+  std::vector<std::exception_ptr> take_exceptions();
 
   std::size_t thread_count() const { return workers_.size(); }
 
@@ -40,13 +50,17 @@ class ThreadPool {
   std::queue<std::function<void()>> tasks_;
   std::mutex mu_;
   std::condition_variable cv_task_;
+  std::condition_variable cv_space_;
   std::condition_variable cv_idle_;
+  std::vector<std::exception_ptr> exceptions_;
+  std::size_t max_queued_ = 0;
   std::size_t in_flight_ = 0;
   bool shutdown_ = false;
 };
 
 /// Runs body(i) for i in [0, n) across the pool and waits for completion.
-/// Iterations must be independent.
+/// Iterations must be independent.  If any iteration throws, the first
+/// captured exception is rethrown after all iterations finish.
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
                   std::size_t threads = 0);
 

@@ -2,7 +2,9 @@
 // simulation clock semantics, RNG determinism, and statistics.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
+#include <stdexcept>
 #include <vector>
 
 #include "simcore/event_queue.h"
@@ -265,6 +267,43 @@ TEST(ParallelTest, ThreadPoolRunsSubmittedTasks) {
   }
   pool.wait_idle();
   EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ParallelTest, ThreadPoolCapturesTaskExceptions) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 10; ++i) {
+    pool.submit([&count, i] {
+      if (i % 2 == 0) throw std::runtime_error("boom " + std::to_string(i));
+      count.fetch_add(1);
+    });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 5) << "throwing tasks must not kill workers";
+  const auto errors = pool.take_exceptions();
+  EXPECT_EQ(errors.size(), 5u);
+  EXPECT_TRUE(pool.take_exceptions().empty()) << "take drains the list";
+}
+
+TEST(ParallelTest, BoundedQueueAppliesBackpressureWithoutLoss) {
+  ThreadPool pool(2, /*max_queued=*/4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 200; ++i) {
+    pool.submit([&] { count.fetch_add(1); });  // blocks when queue is full
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 200);
+}
+
+TEST(ParallelTest, ParallelForRethrowsFirstException) {
+  EXPECT_THROW(
+      parallel_for(
+          16,
+          [](std::size_t i) {
+            if (i == 7) throw std::runtime_error("iteration 7");
+          },
+          4),
+      std::runtime_error);
 }
 
 }  // namespace
