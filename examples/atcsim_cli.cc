@@ -41,6 +41,7 @@ struct Args {
   bool no_cache = false;
   std::string jsonl_path;
   bool auto_classify = false;
+  bool trace = false;
 };
 
 void usage() {
@@ -50,7 +51,10 @@ void usage() {
       "                  [--nodes N] [--vcpus N] [--approach CR|CS|BS|DSS|VS|ATC]\n"
       "                  [--slice-ms X] [--warmup-s X] [--measure-s X]\n"
       "                  [--seed N] [--reps N] [--threads N] [--no-cache]\n"
-      "                  [--auto-classify] [--csv] [--jsonl PATH]\n");
+      "                  [--auto-classify] [--csv] [--jsonl PATH] [--trace]\n"
+      "  --trace: record a structured trace + run the invariant checker per\n"
+      "           repetition; writes <label>.trace (compact) and <label>.json\n"
+      "           (chrome://tracing) under $ATCSIM_TRACE_DIR or ./traces/\n");
 }
 
 std::optional<Args> parse(int argc, char** argv) {
@@ -120,6 +124,8 @@ std::optional<Args> parse(int argc, char** argv) {
       a.jsonl_path = v;
     } else if (flag == "--auto-classify") {
       a.auto_classify = true;
+    } else if (flag == "--trace") {
+      a.trace = true;
     } else {
       return std::nullopt;
     }
@@ -165,6 +171,7 @@ int main(int argc, char** argv) {
   spec.repetitions = args->reps;
   spec.warmup = static_cast<sim::SimTime>(args->warmup_s * 1e9);
   spec.measure = static_cast<sim::SimTime>(args->measure_s * 1e9);
+  spec.trace = args->trace;
 
   atc::AtcConfig atc_cfg;
   atc_cfg.auto_classify = args->auto_classify;
@@ -183,6 +190,12 @@ int main(int argc, char** argv) {
   } catch (const std::invalid_argument& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 2;
+  }
+
+  if (args->trace) {
+    const char* dir = std::getenv("ATCSIM_TRACE_DIR");
+    std::fprintf(stderr, "trace: artifacts written under %s/\n",
+                 dir != nullptr ? dir : "traces");
   }
 
   if (!args->jsonl_path.empty() &&

@@ -3,11 +3,32 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/trace.h"
 #include "virt/platform.h"
 
 namespace atcsim::atc {
 
 using sim::SimTime;
+
+namespace {
+
+#if ATCSIM_TRACE_ENABLED
+obs::TraceEvent atc_event(sim::SimTime now, std::uint8_t type,
+                          const virt::Node& node, const virt::Vm& vm,
+                          std::int64_t a0, std::int64_t a1) {
+  obs::TraceEvent e;
+  e.time = now;
+  e.cat = obs::TraceCat::kAtc;
+  e.type = type;
+  e.node = node.id().value;
+  e.vm = vm.id().value;
+  e.a0 = a0;
+  e.a1 = a1;
+  return e;
+}
+#endif
+
+}  // namespace
 
 AtcController::AtcController(virt::Node& node,
                              const sync::PeriodMonitor& monitor, AtcConfig cfg)
@@ -27,6 +48,10 @@ bool AtcController::treats_as_parallel(const virt::Vm& vm) const {
 
 void AtcController::on_period() {
   if (classifier_ != nullptr) classifier_->on_period();
+#if ATCSIM_TRACE_ENABLED
+  obs::TraceSink* sink = node_->platform().simulation().trace();
+  const SimTime now = node_->platform().simulation().now();
+#endif
   // Step 1: Algorithm 1 per parallel VM.
   bool any_parallel = false;
   SimTime min_slice = cfg_.default_slice;
@@ -34,19 +59,38 @@ void AtcController::on_period() {
     virt::Vm& vm = *node_->vms()[i];
     if (!treats_as_parallel(vm)) continue;
     PeriodHistory& h = history_[i];
-    h.push(PeriodSample{monitor_->avg_spin_latency(vm.id()),
-                        vm.time_slice()});
+    const SimTime spin = monitor_->avg_spin_latency(vm.id());
+    h.push(PeriodSample{spin, vm.time_slice()});
     SimTime slice = vm.time_slice();
     if (h.full()) slice = compute_time_slice(cfg_, h);
     candidate_[i] = slice;
     any_parallel = true;
     min_slice = std::min(min_slice, slice);
+#if ATCSIM_TRACE_ENABLED
+    ATCSIM_TRACE(sink, atc_event(now, obs::ev::kCandidate, *node_, vm,
+                                 static_cast<std::int64_t>(slice),
+                                 static_cast<std::int64_t>(spin)));
+    if (slice <= cfg_.min_threshold) {
+      ATCSIM_TRACE(sink, atc_event(now, obs::ev::kClamp, *node_, vm,
+                                   static_cast<std::int64_t>(slice),
+                                   static_cast<std::int64_t>(
+                                       cfg_.min_threshold)));
+    } else if (h.full() && slice >= cfg_.default_slice) {
+      ATCSIM_TRACE(sink, atc_event(now, obs::ev::kClamp, *node_, vm,
+                                   static_cast<std::int64_t>(slice),
+                                   static_cast<std::int64_t>(
+                                       cfg_.default_slice)));
+    }
+#endif
   }
 
   // Steps 2-3: uniform minimum for parallel VMs; admin/default otherwise.
   for (std::size_t i = 0; i < node_->vms().size(); ++i) {
     const auto& vm = node_->vms()[i];
     if (vm->is_dom0()) continue;
+#if ATCSIM_TRACE_ENABLED
+    const SimTime before = vm->time_slice();
+#endif
     if (treats_as_parallel(*vm)) {
       vm->set_time_slice(any_parallel ? min_slice : cfg_.default_slice);
     } else if (vm->has_admin_slice()) {
@@ -67,6 +111,14 @@ void AtcController::on_period() {
     } else {
       vm->set_time_slice(cfg_.default_slice);
     }
+#if ATCSIM_TRACE_ENABLED
+    if (vm->time_slice() != before) {
+      ATCSIM_TRACE(sink,
+                   atc_event(now, obs::ev::kApply, *node_, *vm,
+                             static_cast<std::int64_t>(vm->time_slice()),
+                             treats_as_parallel(*vm) ? 1 : 0));
+    }
+#endif
   }
 }
 

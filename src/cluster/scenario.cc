@@ -129,6 +129,26 @@ virt::Vm& Scenario::add_web_vm(int node, double requests_per_second,
   return vm;
 }
 
+obs::TraceSink& Scenario::enable_tracing(obs::TraceConfig cfg) {
+  if (trace_sink_ == nullptr) {
+    trace_sink_ = std::make_unique<obs::TraceSink>(cfg);
+    simulation_.set_trace(trace_sink_.get());
+  }
+  return *trace_sink_;
+}
+
+obs::InvariantChecker& Scenario::enable_invariants() {
+  if (invariants_ == nullptr) {
+    obs::InvariantLimits limits;
+    limits.min_slice = setup_.params.min_time_slice;
+    limits.slice_jitter = setup_.params.slice_jitter;
+    limits.credit_clip = setup_.params.credit_clip;
+    invariants_ =
+        std::make_unique<obs::InvariantChecker>(enable_tracing(), limits);
+  }
+  return *invariants_;
+}
+
 void Scenario::start() {
   assert(!started_);
   started_ = true;
@@ -228,7 +248,10 @@ Scenario::Setup ScenarioBuilder::validated() const {
 }
 
 std::unique_ptr<Scenario> ScenarioBuilder::build() const {
-  return std::make_unique<Scenario>(validated());
+  auto scenario = std::make_unique<Scenario>(validated());
+  if (trace_) scenario->enable_tracing(trace_cfg_);
+  if (invariants_) scenario->enable_invariants();
+  return scenario;
 }
 
 }  // namespace atcsim::cluster

@@ -15,6 +15,7 @@
 #include "cluster/approach.h"
 #include "metrics/recorders.h"
 #include "net/network.h"
+#include "obs/invariants.h"
 #include "sync/period_monitor.h"
 #include "virt/platform.h"
 #include "workload/apps.h"
@@ -70,6 +71,20 @@ class Scenario {
   virt::Vm& add_web_vm(int node, double requests_per_second,
                        const std::string& key);
 
+  // --- observability ------------------------------------------------------
+
+  /// Attaches a structured trace sink to the simulation and returns it.
+  /// Idempotent; call before start() so startup events are captured too.
+  obs::TraceSink& enable_tracing(obs::TraceConfig cfg = {});
+
+  /// Enables the runtime invariant checker over the trace stream (implies
+  /// enable_tracing()).  Limits are derived from this scenario's
+  /// ModelParams.  Idempotent.
+  obs::InvariantChecker& enable_invariants();
+
+  obs::TraceSink* trace_sink() { return trace_sink_.get(); }
+  obs::InvariantChecker* invariants() { return invariants_.get(); }
+
   // --- lifecycle ----------------------------------------------------------
 
   /// Installs the approach, starts monitor/clients/engine.  Call once.
@@ -114,6 +129,8 @@ class Scenario {
   std::unique_ptr<net::VirtualNetwork> network_;
   std::unique_ptr<sync::PeriodMonitor> monitor_;
   metrics::MetricsRegistry metrics_;
+  std::unique_ptr<obs::TraceSink> trace_sink_;
+  std::unique_ptr<obs::InvariantChecker> invariants_;
   ApproachRuntime runtime_;
   std::vector<std::unique_ptr<workload::BspApp>> bsp_apps_;
   std::vector<std::unique_ptr<virt::Workload>> workloads_;
@@ -166,6 +183,17 @@ class ScenarioBuilder {
     allow_wide_vms_ = true;
     return *this;
   }
+  /// build() attaches a trace sink with `cfg` before returning.
+  ScenarioBuilder& tracing(obs::TraceConfig cfg = {}) {
+    trace_ = true;
+    trace_cfg_ = cfg;
+    return *this;
+  }
+  /// build() enables the invariant checker (implies tracing()).
+  ScenarioBuilder& check_invariants() {
+    invariants_ = true;
+    return *this;
+  }
 
   /// The validated Setup; throws std::invalid_argument on bad parameters.
   Scenario::Setup validated() const;
@@ -181,6 +209,9 @@ class ScenarioBuilder {
 
   Scenario::Setup setup_;
   bool allow_wide_vms_ = false;
+  bool trace_ = false;
+  obs::TraceConfig trace_cfg_;
+  bool invariants_ = false;
 };
 
 }  // namespace atcsim::cluster

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 namespace atcsim::exp {
 
@@ -21,6 +22,14 @@ void banner(const std::string& what, const std::string& setup) {
   std::printf("atcsim bench: %s\n  setup: %s\n  (simulated platform; shapes "
               "reproduce the paper, absolute values are model-relative)\n\n",
               what.c_str(), setup.c_str());
+}
+
+bool trace_requested(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0) return true;
+  }
+  const char* env = std::getenv("ATCSIM_TRACE");
+  return env != nullptr && std::strcmp(env, "0") != 0;
 }
 
 void set_global_guest_slice(cluster::Scenario& s, sim::SimTime slice) {

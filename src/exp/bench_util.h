@@ -25,4 +25,9 @@ void banner(const std::string& what, const std::string& setup);
 /// "xl sched-credit -t"-style sweep control).
 void set_global_guest_slice(cluster::Scenario& s, sim::SimTime slice);
 
+/// True when the harness should capture traces: a `--trace` argument was
+/// passed, or ATCSIM_TRACE is set to anything but "0".  Set
+/// SweepSpec::trace from this in figure benches.
+bool trace_requested(int argc, char** argv);
+
 }  // namespace atcsim::exp

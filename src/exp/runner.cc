@@ -13,6 +13,7 @@
 #include "cluster/scenario.h"
 #include "cluster/scenarios.h"
 #include "exp/bench_util.h"
+#include "obs/export.h"
 #include "simcore/parallel.h"
 
 namespace atcsim::exp {
@@ -36,6 +37,20 @@ std::string cache_root(const RunOptions& opts) {
 
 fs::path trial_path(const std::string& dir, const Trial& t) {
   return fs::path(dir) / (hash_hex(trial_hash(t)) + ".trial");
+}
+
+std::string trace_root() {
+  if (const char* env = std::getenv("ATCSIM_TRACE_DIR")) return env;
+  return "traces";
+}
+
+// Trial label with path separators flattened, usable as a file stem.
+std::string trace_stem(const Trial& t) {
+  std::string s = t.label();
+  for (char& c : s) {
+    if (c == '/') c = '_';
+  }
+  return s;
 }
 
 bool load_cached(const fs::path& path, TrialResult& out) {
@@ -130,16 +145,17 @@ std::string cache_dir_for(const SweepSpec& spec, const RunOptions& opts) {
 }
 
 TrialResult run_type_a_trial(const Trial& t, const atc::AtcConfig& atc_cfg) {
-  auto s = cluster::ScenarioBuilder{}
-               .nodes(t.nodes)
-               .pcpus_per_node(t.pcpus_per_node)
-               .vms_per_node(t.vms_per_node)
-               .vcpus_per_vm(t.vcpus)
-               .allow_wide_vms()  // motivation layouts run 16-VCPU VMs on 8 PCPUs
-               .approach(t.approach)
-               .atc(atc_cfg)
-               .seed(t.seed())
-               .build();
+  cluster::ScenarioBuilder builder;
+  builder.nodes(t.nodes)
+      .pcpus_per_node(t.pcpus_per_node)
+      .vms_per_node(t.vms_per_node)
+      .vcpus_per_vm(t.vcpus)
+      .allow_wide_vms()  // motivation layouts run 16-VCPU VMs on 8 PCPUs
+      .approach(t.approach)
+      .atc(atc_cfg)
+      .seed(t.seed());
+  if (t.trace) builder.tracing().check_invariants();
+  auto s = builder.build();
   cluster::build_type_a(*s, t.app, t.cls);
   s->start();
   if (t.slice >= 0) set_global_guest_slice(*s, t.slice);
@@ -153,6 +169,11 @@ TrialResult run_type_a_trial(const Trial& t, const atc::AtcConfig& atc_cfg) {
   r.metrics["llc_miss_per_s"] = s->llc_miss_rate();
   r.metrics["events"] =
       static_cast<double>(s->simulation().events_executed());
+  if (t.trace && s->trace_sink() != nullptr) {
+    obs::write_trace_files(*s->trace_sink(), trace_root(), trace_stem(t));
+    r.metrics["trace_events"] =
+        static_cast<double>(s->trace_sink()->emitted());
+  }
   return r;
 }
 
@@ -160,7 +181,9 @@ std::vector<TrialResult> run_sweep(const SweepSpec& spec, const TrialFn& fn,
                                    const RunOptions& opts) {
   const std::vector<Trial> trials = expand(spec);
   std::vector<TrialResult> results(trials.size());
-  const bool use_cache = opts.use_cache && !cache_disabled_by_env();
+  // Traced sweeps always execute so the per-trial artifacts are regenerated.
+  const bool use_cache =
+      opts.use_cache && !cache_disabled_by_env() && !spec.trace;
   const std::string dir = cache_dir_for(spec, opts);
 
   std::vector<const Trial*> pending;

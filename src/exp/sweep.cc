@@ -88,6 +88,7 @@ std::vector<Trial> expand(const SweepSpec& spec) {
                   t.rep = rep;
                   t.warmup = spec.warmup;
                   t.measure = spec.measure;
+                  t.trace = spec.trace;
                   trials.push_back(std::move(t));
                 }
   return trials;

@@ -43,6 +43,12 @@ struct SweepSpec {
   sim::SimTime warmup = sim::kSecond;
   sim::SimTime measure = 5 * sim::kSecond;
 
+  /// Capture a structured trace (and run the invariant checker) in every
+  /// trial; artifacts land under $ATCSIM_TRACE_DIR (default "traces/").
+  /// Excluded from spec_hash/trial_hash; a traced sweep bypasses the result
+  /// cache so the artifacts are always regenerated.
+  bool trace = false;
+
   std::size_t grid_size() const;
 };
 
@@ -62,6 +68,7 @@ struct Trial {
   int rep = 0;
   sim::SimTime warmup = sim::kSecond;
   sim::SimTime measure = 5 * sim::kSecond;
+  bool trace = false;  ///< copied from SweepSpec::trace; not hashed
 
   /// Scenario seed: splitmix of (base_seed, rep), so repetitions are
   /// independent streams and rep 0 of seed S != rep 1 of seed S.

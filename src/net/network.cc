@@ -2,9 +2,31 @@
 
 #include <cassert>
 
+#include "obs/trace.h"
+
 namespace atcsim::net {
 
 using sim::SimTime;
+
+namespace {
+
+#if ATCSIM_TRACE_ENABLED
+obs::TraceEvent net_event(SimTime now, std::uint8_t type, std::int32_t node,
+                          const virt::Vm* vm, std::int64_t a0,
+                          std::int64_t a1 = 0) {
+  obs::TraceEvent e;
+  e.time = now;
+  e.cat = obs::TraceCat::kNet;
+  e.type = type;
+  e.node = node;
+  if (vm != nullptr) e.vm = vm->id().value;
+  e.a0 = a0;
+  e.a1 = a1;
+  return e;
+}
+#endif
+
+}  // namespace
 
 // ---------------------------------------------------------------- Dom0Backend
 
@@ -86,6 +108,13 @@ void VirtualNetwork::transmit(int src_node, int dst_node, std::uint64_t bytes,
       serialize(now, nodes_[static_cast<std::size_t>(src_node)].nic_tx_busy,
                 bytes, mp.nic_bandwidth_bps);
   const SimTime arrive = tx_done + mp.wire_latency;
+  ATCSIM_TRACE(
+      simulation().trace(),
+      net_event(now, obs::ev::kWire,
+                platform_->nodes()[static_cast<std::size_t>(src_node)]
+                    ->id()
+                    .value,
+                nullptr, static_cast<std::int64_t>(bytes), dst_node));
   simulation().call_at(
       arrive, [this, dst_node, bytes, done = std::move(rx_effect_done)]() mutable {
         const auto& p = params();
@@ -100,6 +129,10 @@ void VirtualNetwork::transmit(int src_node, int dst_node, std::uint64_t bytes,
 void VirtualNetwork::enqueue_rx(virt::Vm& dst, std::uint64_t bytes,
                                 std::function<void()> on_delivered) {
   virt::Vm* dvm = &dst;
+  ATCSIM_TRACE(simulation().trace(),
+               net_event(simulation().now(), obs::ev::kGuestRx,
+                         dst.node().id().value, &dst,
+                         static_cast<std::int64_t>(bytes)));
   backend_of(dst).enqueue(Dom0Backend::Job{
       packet_cpu_cost(bytes),
       [this, dvm, cb = std::move(on_delivered)]() mutable {
@@ -114,6 +147,10 @@ void VirtualNetwork::send(virt::Vm& src, virt::Vm& dst, std::uint64_t bytes,
   counters_.bytes += bytes;
   src.period().io_events += 1;  // tx side counts toward the VM's I/O rate
   src.totals().io_events += 1;
+  ATCSIM_TRACE(simulation().trace(),
+               net_event(simulation().now(), obs::ev::kGuestTx,
+                         src.node().id().value, &src,
+                         static_cast<std::int64_t>(bytes), dst.id().value));
   const int src_node = src.node().index();
   const int dst_node = dst.node().index();
   virt::Vm* dvm = &dst;
@@ -138,6 +175,10 @@ void VirtualNetwork::inject(virt::Vm& dst, std::uint64_t bytes,
   assert(attached_);
   counters_.packets += 1;
   counters_.bytes += bytes;
+  ATCSIM_TRACE(simulation().trace(),
+               net_event(simulation().now(), obs::ev::kInject,
+                         dst.node().id().value, &dst,
+                         static_cast<std::int64_t>(bytes)));
   virt::Vm* dvm = &dst;
   const int dst_node = dst.node().index();
   simulation().call_in(
@@ -161,6 +202,10 @@ void VirtualNetwork::send_out(virt::Vm& src, std::uint64_t bytes,
   counters_.bytes += bytes;
   src.period().io_events += 1;
   src.totals().io_events += 1;
+  ATCSIM_TRACE(simulation().trace(),
+               net_event(simulation().now(), obs::ev::kGuestTx,
+                         src.node().id().value, &src,
+                         static_cast<std::int64_t>(bytes), -1));
   const int src_node = src.node().index();
   backend_of(src).enqueue(Dom0Backend::Job{
       packet_cpu_cost(bytes),
@@ -179,6 +224,10 @@ void VirtualNetwork::submit_disk(virt::Vm& vm, std::uint64_t bytes,
   counters_.disk_ops += 1;
   virt::Vm* gvm = &vm;
   NodeState* state = &state_of(vm);
+  ATCSIM_TRACE(simulation().trace(),
+               net_event(simulation().now(), obs::ev::kDiskSubmit,
+                         vm.node().id().value, &vm,
+                         static_cast<std::int64_t>(bytes)));
   backend_of(vm).enqueue(Dom0Backend::Job{
       params().dom0_disk_cost,
       [this, gvm, state, bytes, cb = std::move(on_complete)]() mutable {
@@ -190,7 +239,12 @@ void VirtualNetwork::submit_disk(virt::Vm& vm, std::uint64_t bytes,
             static_cast<SimTime>(static_cast<double>(bytes) /
                                  p.disk_bandwidth_bps * 1e9);
         state->disk_busy = done;
-        simulation().call_at(done, [this, gvm, cb = std::move(cb)]() mutable {
+        simulation().call_at(done, [this, gvm, bytes,
+                                    cb = std::move(cb)]() mutable {
+          ATCSIM_TRACE(simulation().trace(),
+                       net_event(simulation().now(), obs::ev::kDiskDone,
+                                 gvm->node().id().value, gvm,
+                                 static_cast<std::int64_t>(bytes)));
           engine().deposit(*gvm, std::move(cb));
         });
       }});

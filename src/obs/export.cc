@@ -1,0 +1,98 @@
+#include "obs/export.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <ostream>
+
+namespace atcsim::obs {
+
+namespace {
+
+constexpr const char* kCompactHeader = "# atcsim trace v1";
+
+/// Track name for the chrome export: a VCPU identified as "vm<id>/v<id>".
+std::string slice_name(const TraceEvent& e) {
+  return "vm" + std::to_string(e.vm) + "/v" + std::to_string(e.vcpu);
+}
+
+/// Chrome `ts` is fractional microseconds; 3 decimals keep ns precision.
+std::string chrome_ts(sim::SimTime t) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%" PRId64 ".%03d", t / 1000,
+                static_cast<int>(t % 1000));
+  return buf;
+}
+
+void write_args(std::ostream& os, const TraceEvent& e) {
+  os << "\"args\":{\"vm\":" << e.vm << ",\"vcpu\":" << e.vcpu
+     << ",\"a0\":" << e.a0 << ",\"a1\":" << e.a1 << "}";
+}
+
+}  // namespace
+
+std::string format_event(const TraceEvent& e) {
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "%" PRId64 "\t%s.%s\t%d\t%d\t%d\t%d\t%" PRId64 "\t%" PRId64,
+                e.time, cat_name(e.cat), type_name(e.cat, e.type), e.node,
+                e.vm, e.vcpu, e.pcpu, e.a0, e.a1);
+  return buf;
+}
+
+void write_compact(std::ostream& os, const TraceSink& sink) {
+  os << kCompactHeader << '\n';
+  for (const TraceEvent& e : sink.snapshot()) os << format_event(e) << '\n';
+  os << "# dropped=" << sink.dropped() << '\n';
+}
+
+void write_chrome_json(std::ostream& os, const TraceSink& sink) {
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& e : sink.snapshot()) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n{";
+    if (e.cat == TraceCat::kVcpu &&
+        (e.type == ev::kDispatch || e.type == ev::kLeave)) {
+      // Dispatch/leave pairs become duration slices on the PCPU track.
+      os << "\"name\":\"" << slice_name(e) << "\",\"cat\":\"vcpu\",\"ph\":\""
+         << (e.type == ev::kDispatch ? 'B' : 'E') << "\",\"ts\":"
+         << chrome_ts(e.time) << ",\"pid\":" << e.node << ",\"tid\":" << e.pcpu
+         << ",";
+    } else {
+      os << "\"name\":\"" << cat_name(e.cat) << '.'
+         << type_name(e.cat, e.type) << "\",\"cat\":\"" << cat_name(e.cat)
+         << "\",\"ph\":\"i\",\"s\":\"t\",\"ts\":" << chrome_ts(e.time)
+         << ",\"pid\":" << e.node << ",\"tid\":"
+         << (e.pcpu >= 0 ? e.pcpu : e.vcpu) << ",";
+    }
+    write_args(os, e);
+    os << "}";
+  }
+  os << "\n]}\n";
+}
+
+bool write_trace_files(const TraceSink& sink, const std::string& dir,
+                       const std::string& stem) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) return false;
+  const auto base = std::filesystem::path(dir) / stem;
+  {
+    std::ofstream out(base.string() + ".trace");
+    if (!out) return false;
+    write_compact(out, sink);
+    if (!out) return false;
+  }
+  {
+    std::ofstream out(base.string() + ".json");
+    if (!out) return false;
+    write_chrome_json(out, sink);
+    if (!out) return false;
+  }
+  return true;
+}
+
+}  // namespace atcsim::obs

@@ -1,0 +1,35 @@
+// Trace exporters.
+//
+// Two formats:
+//  * compact  — deterministic tab-separated text, one event per line.  The
+//    byte-stable format the golden-trace regression tests diff; also the
+//    cheapest thing to grep.
+//  * chrome   — Chrome tracing / Perfetto JSON ("chrome://tracing", or
+//    https://ui.perfetto.dev -> "Open trace file").  VCPU dispatch/leave
+//    pairs become duration slices per PCPU track; everything else renders
+//    as instant events.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "obs/trace.h"
+
+namespace atcsim::obs {
+
+/// One compact line (no trailing newline):
+/// "<time>\t<cat>.<type>\t<node>\t<vm>\t<vcpu>\t<pcpu>\t<a0>\t<a1>".
+std::string format_event(const TraceEvent& e);
+
+/// Header + one line per buffered event + a dropped-count footer.
+void write_compact(std::ostream& os, const TraceSink& sink);
+
+/// Chrome-tracing JSON object ({"traceEvents":[...]}).
+void write_chrome_json(std::ostream& os, const TraceSink& sink);
+
+/// Writes "<dir>/<stem>.trace" (compact) and "<dir>/<stem>.json" (chrome),
+/// creating `dir` if needed.  Returns false on any I/O failure.
+bool write_trace_files(const TraceSink& sink, const std::string& dir,
+                       const std::string& stem);
+
+}  // namespace atcsim::obs

@@ -1,0 +1,89 @@
+// Runtime invariant checking over the trace stream.
+//
+// The checker registers as a TraceSink observer, so every instrumentation
+// point doubles as an invariant hook.  Checked invariants (see DESIGN.md
+// "Runtime invariants" for the rationale of each):
+//
+//   time-monotonic     trace timestamps never decrease
+//   pcpu-occupancy     no two VCPUs dispatched on one PCPU at once
+//   vcpu-placement     no VCPU running on two PCPUs at once
+//   spin-nesting       spin episodes strictly start/end per VCPU, and each
+//                      episode's wall latency is >= 0 (spin-time monotonicity)
+//   slice-floor        every granted slice >= min_time_slice (less the
+//                      dispatch jitter the engine deliberately applies)
+//   credit-bounds      every reported credit balance within +/- credit_clip
+//   credit-conserved   each refill distributes at most the node's credit
+//                      pool for the accounting period
+//
+// On violation the checker either throws InvariantViolation with a dump of
+// the most recent events (default: fail fast with context) or records the
+// violation for later inspection (property tests).
+#pragma once
+
+#include <deque>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace atcsim::obs {
+
+/// Model limits the checker validates against; mirror the scenario's
+/// virt::ModelParams (Scenario::enable_invariants wires them automatically).
+struct InvariantLimits {
+  sim::SimTime min_slice = 30'000;  ///< ModelParams::min_time_slice
+  double slice_jitter = 0.03;       ///< ModelParams::slice_jitter
+  double credit_clip = 300.0;       ///< ModelParams::credit_clip
+};
+
+class InvariantViolation : public std::runtime_error {
+ public:
+  explicit InvariantViolation(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+class InvariantChecker {
+ public:
+  struct Violation {
+    std::string invariant;  ///< e.g. "pcpu-occupancy"
+    std::string detail;
+    TraceEvent event;
+  };
+
+  /// Subscribes to `sink`.  The checker must outlive the sink's emissions.
+  InvariantChecker(TraceSink& sink, InvariantLimits limits = {});
+
+  /// When true (default), the first violation throws InvariantViolation
+  /// whose message includes the recent-event context dump.
+  void set_abort_on_violation(bool v) { abort_on_violation_ = v; }
+
+  const std::vector<Violation>& violations() const { return violations_; }
+  std::uint64_t events_checked() const { return events_checked_; }
+
+  /// Formats the most recent events (context for failure reports).
+  std::string context_dump() const;
+
+  /// Direct feed, for checking synthetic streams without a sink.
+  void on_event(const TraceEvent& e);
+
+ private:
+  void violate(const TraceEvent& e, const char* invariant,
+               const std::string& detail);
+
+  InvariantLimits limits_;
+  bool abort_on_violation_ = true;
+  std::vector<Violation> violations_;
+  std::uint64_t events_checked_ = 0;
+
+  sim::SimTime last_time_ = 0;
+  static constexpr std::size_t kContextEvents = 32;
+  std::deque<TraceEvent> recent_;
+
+  // pcpu global id -> vcpu global id currently dispatched (absent = idle).
+  std::vector<std::int32_t> running_on_;   // indexed by pcpu id
+  std::vector<std::int32_t> placed_on_;    // vcpu id -> pcpu id (-1 = none)
+  std::vector<std::uint8_t> spinning_;     // vcpu id -> in spin episode?
+};
+
+}  // namespace atcsim::obs

@@ -1,0 +1,113 @@
+#include "obs/trace.h"
+
+namespace atcsim::obs {
+
+const char* cat_name(TraceCat c) {
+  switch (c) {
+    case TraceCat::kSim: return "sim";
+    case TraceCat::kSched: return "sched";
+    case TraceCat::kVcpu: return "vcpu";
+    case TraceCat::kSync: return "sync";
+    case TraceCat::kAtc: return "atc";
+    case TraceCat::kNet: return "net";
+  }
+  return "?";
+}
+
+const char* type_name(TraceCat c, std::uint8_t type) {
+  switch (c) {
+    case TraceCat::kSim:
+      switch (type) {
+        case ev::kDispatchEvent: return "dispatch";
+      }
+      break;
+    case TraceCat::kSched:
+      switch (type) {
+        case ev::kEnqueue: return "enqueue";
+        case ev::kPick: return "pick";
+        case ev::kSteal: return "steal";
+        case ev::kRefill: return "refill";
+        case ev::kCredit: return "credit";
+        case ev::kTickPreempt: return "tick_preempt";
+      }
+      break;
+    case TraceCat::kVcpu:
+      switch (type) {
+        case ev::kStart: return "start";
+        case ev::kDispatch: return "dispatch";
+        case ev::kLeave: return "leave";
+        case ev::kWake: return "wake";
+      }
+      break;
+    case TraceCat::kSync:
+      switch (type) {
+        case ev::kSpinStart: return "spin_start";
+        case ev::kSpinEnd: return "spin_end";
+        case ev::kSignal: return "signal";
+      }
+      break;
+    case TraceCat::kAtc:
+      switch (type) {
+        case ev::kCandidate: return "candidate";
+        case ev::kApply: return "apply";
+        case ev::kClamp: return "clamp";
+      }
+      break;
+    case TraceCat::kNet:
+      switch (type) {
+        case ev::kGuestTx: return "guest_tx";
+        case ev::kWire: return "wire";
+        case ev::kGuestRx: return "guest_rx";
+        case ev::kInject: return "inject";
+        case ev::kDiskSubmit: return "disk_submit";
+        case ev::kDiskDone: return "disk_done";
+      }
+      break;
+  }
+  return "?";
+}
+
+TraceSink::TraceSink(TraceConfig cfg) : cfg_(cfg) {
+  if (cfg_.capacity > 0) ring_.reserve(cfg_.capacity);
+}
+
+void TraceSink::emit(const TraceEvent& e) {
+  if (!wants(e.cat)) return;
+  ++emitted_;
+  for (const auto& fn : observers_) fn(e);
+  if (cfg_.capacity == 0) {
+    ring_.push_back(e);
+    return;
+  }
+  if (ring_.size() < cfg_.capacity) {
+    ring_.push_back(e);
+    next_ = ring_.size() % cfg_.capacity;
+    return;
+  }
+  // Full: overwrite the oldest slot.
+  ring_[next_] = e;
+  next_ = (next_ + 1) % cfg_.capacity;
+  wrapped_ = true;
+  ++dropped_;
+}
+
+std::vector<TraceEvent> TraceSink::snapshot() const {
+  if (!wrapped_) return ring_;
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  out.insert(out.end(), ring_.begin() + static_cast<std::ptrdiff_t>(next_),
+             ring_.end());
+  out.insert(out.end(), ring_.begin(),
+             ring_.begin() + static_cast<std::ptrdiff_t>(next_));
+  return out;
+}
+
+void TraceSink::clear() {
+  ring_.clear();
+  next_ = 0;
+  wrapped_ = false;
+  emitted_ = 0;
+  dropped_ = 0;
+}
+
+}  // namespace atcsim::obs

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <limits>
 
+#include "obs/trace.h"
 #include "virt/platform.h"
 
 namespace atcsim::sched {
@@ -11,6 +13,28 @@ namespace atcsim::sched {
 using sim::SimTime;
 using virt::CreditPrio;
 using virt::VcpuState;
+
+namespace {
+
+/// Credit balances are traced in millicredits so events stay integral.
+std::int64_t mcr(double credits) { return std::llround(credits * 1e3); }
+
+obs::TraceEvent sched_event(SimTime now, std::uint8_t type, const Vcpu& v,
+                            std::int64_t a0 = 0, std::int64_t a1 = 0) {
+  obs::TraceEvent e;
+  e.time = now;
+  e.cat = obs::TraceCat::kSched;
+  e.type = type;
+  e.node = v.vm().node().id().value;
+  e.vm = v.vm().id().value;
+  e.vcpu = v.id().value;
+  e.pcpu = v.sched().queue.value;
+  e.a0 = a0;
+  e.a1 = a1;
+  return e;
+}
+
+}  // namespace
 
 CreditScheduler::CreditScheduler(Options opts) : opts_(opts) {}
 
@@ -49,6 +73,10 @@ void CreditScheduler::tick() {
     if (p.idle() || queues_[q].empty()) continue;
     if (effective_prio(*queues_[q].front()) <
         effective_prio(*p.current())) {
+      ATCSIM_TRACE(engine().simulation().trace(),
+                   sched_event(engine().simulation().now(),
+                               obs::ev::kTickPreempt, *p.current(),
+                               static_cast<std::int64_t>(q)));
       engine().request_resched(p);
     }
   }
@@ -82,6 +110,10 @@ void CreditScheduler::enqueue(Vcpu& v) {
     ++it;
   }
   dq.insert(it, &v);
+  ATCSIM_TRACE(engine().simulation().trace(),
+               sched_event(engine().simulation().now(), obs::ev::kEnqueue, v,
+                           static_cast<std::int64_t>(prio),
+                           static_cast<std::int64_t>(q)));
 }
 
 bool CreditScheduler::remove_from_queue(Vcpu& v) {
@@ -199,12 +231,20 @@ Vcpu* CreditScheduler::pick_next(Pcpu& p) {
       dq.pop_front();
       v->sched().boosted = false;
       v->sched().queue = p.id();  // migrate to the stealing queue
+      ATCSIM_TRACE(engine().simulation().trace(),
+                   sched_event(engine().simulation().now(), obs::ev::kSteal,
+                               *v, static_cast<std::int64_t>(best_q),
+                               static_cast<std::int64_t>(self)));
       return v;
     }
   }
   if (own.empty() || is_parked(*own.front())) return nullptr;
   Vcpu* v = own.front();
   own.pop_front();
+  ATCSIM_TRACE(engine().simulation().trace(),
+               sched_event(engine().simulation().now(), obs::ev::kPick, *v,
+                           static_cast<std::int64_t>(effective_prio(*v)),
+                           static_cast<std::int64_t>(self)));
   v->sched().boosted = false;  // BOOST is consumed by the dispatch
   return v;
 }
@@ -224,6 +264,9 @@ void CreditScheduler::charge(Vcpu& v, sim::SimTime run) {
       static_cast<double>(mp.accounting_period);
   v.sched().credits =
       std::max(v.sched().credits - debit, -mp.credit_clip);
+  ATCSIM_TRACE(engine().simulation().trace(),
+               sched_event(engine().simulation().now(), obs::ev::kCredit, v,
+                           mcr(v.sched().credits), run));
 }
 
 Pcpu* CreditScheduler::wake_preemption_target(Vcpu& v) {
@@ -249,6 +292,7 @@ void CreditScheduler::refill_credits() {
     }
   }
   if (weight_sum <= 0.0) return;
+  double distributed = 0.0;  // actually credited (post-clamp), for tracing
   for (const auto& vm : node_->vms()) {
     std::vector<Vcpu*> live;
     for (const auto& v : vm->vcpus()) {
@@ -264,11 +308,28 @@ void CreditScheduler::refill_credits() {
     }
     const double per_vcpu = share / static_cast<double>(live.size());
     for (Vcpu* v : live) {
+      const double before = v->sched().credits;
       v->sched().credits =
           std::clamp(v->sched().credits + per_vcpu, -mp.credit_clip,
                      mp.credit_clip);
+      distributed += v->sched().credits - before;
+      ATCSIM_TRACE(engine().simulation().trace(),
+                   sched_event(engine().simulation().now(), obs::ev::kCredit,
+                               *v, mcr(v->sched().credits)));
     }
   }
+#if ATCSIM_TRACE_ENABLED
+  if (obs::TraceSink* sink = engine().simulation().trace()) {
+    obs::TraceEvent e;
+    e.time = engine().simulation().now();
+    e.cat = obs::TraceCat::kSched;
+    e.type = obs::ev::kRefill;
+    e.node = node_->id().value;
+    e.a0 = mcr(distributed);
+    e.a1 = mcr(pool);
+    sink->emit(e);
+  }
+#endif
   resort_queues();
   // Parked VCPUs may have just been unparked: give idle PCPUs a chance.
   engine().kick_idle_pcpus(*node_);

@@ -25,19 +25,23 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
-void ThreadPool::submit(std::function<void()> task) {
+bool ThreadPool::submit(std::function<void()> task) {
   {
     std::unique_lock lock(mu_);
     if (max_queued_ > 0) {
       cv_space_.wait(lock, [this] {
         return shutdown_ || tasks_.size() < max_queued_;
       });
-      if (shutdown_) return;  // pool tearing down; drop the task
     }
+    // Checked on every path, not just after a blocked wait: workers have
+    // stopped draining once shutdown begins, so accepting a task here would
+    // leave in_flight_ > 0 forever and hang the next wait_idle().
+    if (shutdown_) return false;
     tasks_.push(std::move(task));
     ++in_flight_;
   }
   cv_task_.notify_one();
+  return true;
 }
 
 void ThreadPool::wait_idle() {

@@ -32,7 +32,10 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  void submit(std::function<void()> task);
+  /// Enqueues `task`; with a bounded queue, blocks while the queue is full.
+  /// Returns false (task dropped, not run) when the pool is shutting down —
+  /// including when shutdown begins while submit is blocked on a full queue.
+  bool submit(std::function<void()> task);
 
   /// Blocks until all submitted tasks have completed (or thrown).
   void wait_idle();

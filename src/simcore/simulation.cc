@@ -4,6 +4,16 @@
 
 namespace atcsim::sim {
 
+void Simulation::trace_dispatch(std::uint64_t executed_in_run) {
+  obs::TraceEvent e;
+  e.time = now_;
+  e.cat = obs::TraceCat::kSim;
+  e.type = obs::ev::kDispatchEvent;
+  e.a0 = static_cast<std::int64_t>(events_executed_ + executed_in_run);
+  e.a1 = static_cast<std::int64_t>(queue_.size());
+  trace_->emit(e);
+}
+
 std::uint64_t Simulation::run_until(SimTime deadline) {
   std::uint64_t executed = 0;
   stop_requested_ = false;
@@ -12,6 +22,9 @@ std::uint64_t Simulation::run_until(SimTime deadline) {
     EventQueue::Popped ev = queue_.pop();
     assert(ev.time >= now_ && "event scheduled in the past");
     now_ = ev.time;
+#if ATCSIM_TRACE_ENABLED
+    if (trace_ != nullptr) trace_dispatch(executed);
+#endif
     ev.fn();
     ++executed;
   }
@@ -27,6 +40,9 @@ std::uint64_t Simulation::run() {
     EventQueue::Popped ev = queue_.pop();
     assert(ev.time >= now_ && "event scheduled in the past");
     now_ = ev.time;
+#if ATCSIM_TRACE_ENABLED
+    if (trace_ != nullptr) trace_dispatch(executed);
+#endif
     ev.fn();
     ++executed;
   }

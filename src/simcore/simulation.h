@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <functional>
 
+#include "obs/trace.h"
 #include "simcore/event_queue.h"
 #include "simcore/time.h"
 
@@ -49,11 +50,20 @@ class Simulation {
 
   std::size_t pending_events() const { return queue_.size(); }
 
+  /// Attaches a structured trace sink (non-owning; nullptr disables).  Every
+  /// model component reaches the sink through its Simulation, so one call
+  /// instruments the whole run.
+  void set_trace(obs::TraceSink* sink) { trace_ = sink; }
+  obs::TraceSink* trace() const { return trace_; }
+
  private:
+  void trace_dispatch(std::uint64_t executed_in_run);
+
   EventQueue queue_;
   SimTime now_ = 0;
   std::uint64_t events_executed_ = 0;
   bool stop_requested_ = false;
+  obs::TraceSink* trace_ = nullptr;
 };
 
 }  // namespace atcsim::sim

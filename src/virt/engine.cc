@@ -3,12 +3,34 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/trace.h"
 #include "virt/scheduler.h"
 #include "virt/sync_event.h"
 
 namespace atcsim::virt {
 
 using sim::SimTime;
+
+namespace {
+
+/// Builds a kVcpu/kSync trace event with the VCPU's full identity.
+obs::TraceEvent vcpu_event(SimTime now, obs::TraceCat cat, std::uint8_t type,
+                           const Vcpu& v, std::int64_t a0 = 0,
+                           std::int64_t a1 = 0) {
+  obs::TraceEvent e;
+  e.time = now;
+  e.cat = cat;
+  e.type = type;
+  e.node = v.vm().node().id().value;
+  e.vm = v.vm().id().value;
+  e.vcpu = v.id().value;
+  e.pcpu = v.eng().on_pcpu != nullptr ? v.eng().on_pcpu->id().value : -1;
+  e.a0 = a0;
+  e.a1 = a1;
+  return e;
+}
+
+}  // namespace
 
 Engine::Engine(sim::Simulation& simulation, Platform& platform)
     : sim_(&simulation), platform_(&platform) {}
@@ -25,6 +47,9 @@ void Engine::start() {
       for (auto& v : vm->vcpus()) {
         if (v->workload() != nullptr) {
           v->set_state(VcpuState::kRunnable);
+          ATCSIM_TRACE(sim_->trace(),
+                       vcpu_event(sim_->now(), obs::TraceCat::kVcpu,
+                                  obs::ev::kStart, *v));
           node->scheduler().vcpu_started(*v);
         }
       }
@@ -106,6 +131,9 @@ void Engine::dispatch(Pcpu& p) {
                                       [this, pp] { slice_expired(*pp); });
   v->eng().stint_start = now;
   v->eng().segment_start = now;
+  ATCSIM_TRACE(sim_->trace(),
+               vcpu_event(now, obs::TraceCat::kVcpu, obs::ev::kDispatch, *v,
+                          slice, v->eng().cache_debt));
 
   // VM entry processes pending event-channel notifications (IRQs).
   drain_mailbox(vm);
@@ -148,6 +176,9 @@ void Engine::run_current(Pcpu& p) {
         if (!e.in_spin_episode) {
           e.in_spin_episode = true;
           e.spin_episode_start = now;
+          ATCSIM_TRACE(sim_->trace(),
+                       vcpu_event(now, obs::TraceCat::kSync,
+                                  obs::ev::kSpinStart, *v));
         }
         SyncEvent* ev = e.action.event;
         if (ev->signalled()) {
@@ -238,6 +269,9 @@ void Engine::leave_cpu(Pcpu& p, LeaveReason reason) {
   v->mutable_totals().run += stint;
   p.totals().busy += stint;
   p.node().scheduler().charge(*v, stint);
+  ATCSIM_TRACE(sim_->trace(),
+               vcpu_event(now, obs::TraceCat::kVcpu, obs::ev::kLeave, *v,
+                          static_cast<std::int64_t>(reason), stint));
   e.on_pcpu = nullptr;
   p.set_current(nullptr);
   switch (reason) {
@@ -264,6 +298,8 @@ void Engine::end_spin_episode(Vcpu& v) {
   const SimTime wall = sim_->now() - e.spin_episode_start;
   e.in_spin_episode = false;
   e.wait_registered = false;
+  ATCSIM_TRACE(sim_->trace(), vcpu_event(sim_->now(), obs::TraceCat::kSync,
+                                         obs::ev::kSpinEnd, v, wall));
   Vm& vm = v.vm();
   vm.period().spin_wall += wall;
   vm.period().spin_episodes += 1;
@@ -295,6 +331,8 @@ void Engine::drain_mailbox(Vm& vm) {
 void Engine::wake(Vcpu& v) {
   if (v.state() != VcpuState::kBlocked) return;
   v.set_state(VcpuState::kRunnable);
+  ATCSIM_TRACE(sim_->trace(), vcpu_event(sim_->now(), obs::TraceCat::kVcpu,
+                                         obs::ev::kWake, v));
   v.vm().period().wakeups += 1;
   Node& node = v.vm().node();
   Scheduler& s = node.scheduler();

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
 #include "virt/engine.h"
+#include "virt/vcpu.h"
+#include "virt/vm.h"
 
 namespace atcsim::virt {
 
@@ -11,6 +14,20 @@ void SyncEvent::signal() {
   signalled_ = true;
   std::vector<Vcpu*> waiters = std::move(waiters_);
   waiters_.clear();
+#if ATCSIM_TRACE_ENABLED
+  if (obs::TraceSink* sink = engine_.simulation().trace()) {
+    obs::TraceEvent e;
+    e.time = engine_.simulation().now();
+    e.cat = obs::TraceCat::kSync;
+    e.type = obs::ev::kSignal;
+    if (!waiters.empty()) {
+      e.vm = waiters.front()->vm().id().value;
+      e.vcpu = waiters.front()->id().value;
+    }
+    e.a0 = static_cast<std::int64_t>(waiters.size());
+    sink->emit(e);
+  }
+#endif
   engine_.on_signalled(waiters);
 }
 

@@ -86,6 +86,7 @@ class Vcpu {
     class Pcpu* on_pcpu = nullptr;      ///< set while kRunning
   };
   EngineState& eng() { return eng_; }
+  const EngineState& eng() const { return eng_; }
 
   // Engine-only state transitions (public for the engine; see engine.cc).
   void set_state(VcpuState s) { state_ = s; }

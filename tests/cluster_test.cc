@@ -2,11 +2,15 @@
 // approach installation.
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <set>
+#include <sstream>
+#include <utility>
 
 #include "cluster/scenario.h"
 #include "cluster/scenarios.h"
 #include "cluster/trace.h"
+#include "obs/export.h"
 
 namespace atcsim::cluster {
 namespace {
@@ -199,6 +203,52 @@ TEST(ScenarioTest, MeanSuperstepPrefixAveragesClusters) {
   EXPECT_GE(avg, lo);
   EXPECT_LE(avg, hi);
 }
+
+#if ATCSIM_TRACE_ENABLED
+
+// The deprecated Scenario::Setup constructor and ScenarioBuilder must stay
+// drop-in equivalent while the shim exists: identical inputs have to yield
+// an identical engine, which the structured trace verifies byte-for-byte —
+// a far stronger oracle than spot-checking a few aggregate metrics.
+TEST(ScenarioSetupShimTest, SetupAndBuilderProduceIdenticalRuns) {
+  auto run = [](std::unique_ptr<Scenario> s) {
+    obs::TraceConfig cfg;
+    cfg.capacity = 0;
+    s->enable_tracing(cfg);
+    build_type_a(*s, "lu", workload::NpbClass::kA);
+    s->start();
+    s->run_for(30_ms);
+    std::ostringstream os;
+    obs::write_compact(os, *s->trace_sink());
+    return std::make_pair(os.str(), s->simulation().events_executed());
+  };
+
+  Scenario::Setup setup;
+  setup.nodes = 2;
+  setup.pcpus_per_node = 2;
+  setup.vms_per_node = 2;
+  setup.vcpus_per_vm = 2;
+  setup.approach = Approach::kATC;
+  setup.seed = 11;
+  const auto via_setup = run(std::make_unique<Scenario>(setup));
+
+  const auto via_builder = run(ScenarioBuilder{}
+                                   .nodes(2)
+                                   .pcpus_per_node(2)
+                                   .vms_per_node(2)
+                                   .vcpus_per_vm(2)
+                                   .approach(Approach::kATC)
+                                   .seed(11)
+                                   .build());
+
+  EXPECT_EQ(via_setup.second, via_builder.second)
+      << "event counts diverged between Setup shim and ScenarioBuilder";
+  EXPECT_TRUE(via_setup.first == via_builder.first)
+      << "traces diverged: the Setup shim no longer matches ScenarioBuilder";
+  EXPECT_FALSE(via_setup.first.empty());
+}
+
+#endif  // ATCSIM_TRACE_ENABLED
 
 }  // namespace
 }  // namespace atcsim::cluster

@@ -3,8 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
+#include <memory>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "simcore/event_queue.h"
@@ -293,6 +296,46 @@ TEST(ParallelTest, BoundedQueueAppliesBackpressureWithoutLoss) {
   }
   pool.wait_idle();
   EXPECT_EQ(count.load(), 200);
+}
+
+TEST(ParallelTest, ThreadPoolShutdownUnblocksBlockedSubmit) {
+  // One worker pinned on a gate task + a full one-slot queue: the third
+  // submit must block.  Destroying the pool from another thread has to wake
+  // that submit and make it report the task as dropped — before the fix,
+  // the post-wait path re-enqueued into a dead pool (latent wait_idle hang).
+  std::atomic<bool> release{false};
+  std::atomic<int> ran{0};
+  auto pool = std::make_unique<ThreadPool>(1, /*max_queued=*/1);
+  ASSERT_TRUE(pool->submit([&] {
+    while (!release.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    ran.fetch_add(1);
+  }));
+  ASSERT_TRUE(pool->submit([&] { ran.fetch_add(1); }));  // fills the queue
+
+  std::atomic<bool> submit_returned{false};
+  std::atomic<bool> accepted{true};
+  std::thread blocked([&] {
+    accepted.store(pool->submit([&] { ran.fetch_add(1); }));
+    submit_returned.store(true);
+  });
+  // Give the submitter time to block on the full queue; the worker is still
+  // gated, so the queue cannot drain.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(submit_returned.load()) << "submit should be blocked";
+
+  std::thread destroyer([&] { pool.reset(); });  // joins workers; needs gate
+  // Shutdown must wake the blocked submit even while workers are busy.
+  for (int i = 0; i < 2000 && !submit_returned.load(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_TRUE(submit_returned.load()) << "shutdown left submit blocked";
+  EXPECT_FALSE(accepted.load()) << "task must be reported dropped";
+  release.store(true);
+  blocked.join();
+  destroyer.join();
+  EXPECT_EQ(ran.load(), 2) << "gate task + queued task ran; blocked one dropped";
 }
 
 TEST(ParallelTest, ParallelForRethrowsFirstException) {
