@@ -1,0 +1,357 @@
+// perf_report: tracked performance trajectory for the simcore hot path.
+//
+// Runs a fixed suite of micro and macro benchmarks over the event core and
+// emits one JSON "run" record.  With --append the record is appended to the
+// history array of an existing BENCH_simcore.json (created when missing), so
+// the repo root carries a before/after trajectory every PR can extend.
+//
+//   perf_report                         # print the run record to stdout
+//   perf_report --label "my change" --append ../BENCH_simcore.json
+//
+// Every benchmark reports events (or ops) per wall second plus the number of
+// heap allocations per event observed during the measured repetition, via a
+// global operator-new hook.  The schedule/pop and macro-throughput loops must
+// stay at 0.0 allocs/event — that is the zero-allocation contract of
+// EventQueue; CI runs this binary as a smoke test (numbers informational).
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <fstream>
+#include <new>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cluster/scenario.h"
+#include "cluster/scenarios.h"
+#include "simcore/event_queue.h"
+#include "simcore/rng.h"
+#include "simcore/simulation.h"
+
+// ------------------------------------------------------------ alloc counter
+
+namespace {
+std::atomic<std::uint64_t> g_allocs{0};
+}  // namespace
+
+void* operator new(std::size_t n) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n) { return ::operator new(n); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace {
+
+using namespace atcsim;
+using sim::SimTime;
+using namespace sim::time_literals;
+
+using Clock = std::chrono::steady_clock;
+
+struct Result {
+  std::uint64_t events = 0;      // work items per repetition
+  double wall_s = 0;             // best-of-N wall seconds
+  double per_sec = 0;            // events / wall_s
+  double allocs_per_event = 0;   // heap allocations per event, best rep
+};
+
+/// Runs `body` (which returns the number of work items processed) `reps`
+/// times after one untimed warmup, keeping the fastest repetition.
+template <typename Body>
+Result bench(int reps, Body&& body) {
+  (void)body();  // warmup: populate slabs, fault in pages
+  Result r;
+  r.wall_s = 1e100;
+  for (int i = 0; i < reps; ++i) {
+    const std::uint64_t a0 = g_allocs.load(std::memory_order_relaxed);
+    const auto t0 = Clock::now();
+    const std::uint64_t n = body();
+    const double s = std::chrono::duration<double>(Clock::now() - t0).count();
+    const std::uint64_t allocs =
+        g_allocs.load(std::memory_order_relaxed) - a0;
+    if (s < r.wall_s) {
+      r.wall_s = s;
+      r.events = n;
+      r.allocs_per_event =
+          n == 0 ? 0 : static_cast<double>(allocs) / static_cast<double>(n);
+    }
+  }
+  r.per_sec = r.wall_s > 0 ? static_cast<double>(r.events) / r.wall_s : 0;
+  return r;
+}
+
+// ---------------------------------------------------------------- micro ---
+
+/// Steady-state schedule/pop churn: 64 in-flight events, FIFO-ish pop.  The
+/// canonical hot loop of the simulator; must be allocation-free after the
+/// warmup repetition.
+Result micro_schedule_pop() {
+  sim::EventQueue q;
+  std::uint64_t sink = 0;
+  return bench(5, [&]() -> std::uint64_t {
+    constexpr std::uint64_t kBatches = 20'000;
+    SimTime t = 0;
+    for (std::uint64_t b = 0; b < kBatches; ++b) {
+      for (int i = 0; i < 64; ++i) {
+        q.schedule(t + (i * 7919) % 1000, [&sink] { ++sink; });
+      }
+      while (!q.empty()) q.pop().fn();
+      t += 1000;
+    }
+    return kBatches * 64;
+  });
+}
+
+/// Steady-state cancel cost: schedule a batch, cancel all of it, let the
+/// queue prune.  Dead entries must not accumulate across batches.
+Result micro_cancel_steady() {
+  sim::EventQueue q;
+  std::vector<sim::EventId> ids;
+  ids.reserve(64);
+  return bench(5, [&]() -> std::uint64_t {
+    constexpr std::uint64_t kBatches = 20'000;
+    for (std::uint64_t b = 0; b < kBatches; ++b) {
+      ids.clear();
+      const SimTime t = static_cast<SimTime>(b) * 64;
+      for (int i = 0; i < 64; ++i) ids.push_back(q.schedule(t + i, [] {}));
+      for (auto id : ids) q.cancel(id);
+      (void)q.next_time();  // prunes the dead batch
+    }
+    return kBatches * 64;
+  });
+}
+
+// ---------------------------------------------------------------- macro ---
+
+/// Macro event-throughput: a full Simulation::run over an engine-shaped
+/// storm.  Each of 512 actors, when fired, (a) schedules its own next firing,
+/// and (b) cancels + reschedules a watchdog event — exactly the slice-timer
+/// churn pattern of virt::Engine (dispatch arms a slice expiry; most slices
+/// are cancelled early when the compute segment finishes first).
+Result macro_event_throughput() {
+  return bench(3, []() -> std::uint64_t {
+    constexpr int kActors = 512;
+    constexpr std::uint64_t kTarget = 1'500'000;
+    struct Actor {
+      sim::EventId watchdog;
+    };
+    struct Ctx {
+      sim::Simulation s;
+      sim::Rng rng{42};
+      std::vector<Actor> actors;
+      std::uint64_t fired = 0;
+    } ctx;
+    ctx.actors.resize(kActors);
+    // Self-rescheduling closure per actor.  Kept to 16 bytes so the capture
+    // is inline under both the old std::function queue and the new one —
+    // the comparison measures the queue, not capture spill.
+    struct Fire {
+      Ctx* c;
+      int idx;
+      void operator()() const {
+        ++c->fired;
+        Actor& a = c->actors[static_cast<std::size_t>(idx)];
+        if (a.watchdog.valid()) c->s.cancel(a.watchdog);
+        a.watchdog = c->s.call_in(
+            2000 + static_cast<SimTime>(c->rng.next_u64() % 1000), [] {});
+        if (c->fired < c->actors.size() * 3000) {
+          c->s.call_in(1 + static_cast<SimTime>(c->rng.next_u64() % 997),
+                       *this);
+        }
+      }
+    };
+    for (int i = 0; i < kActors; ++i) {
+      ctx.s.call_in(1 + static_cast<SimTime>(ctx.rng.next_u64() % 997),
+                    Fire{&ctx, i});
+    }
+    while (ctx.fired < kTarget && ctx.s.pending_events() > 0) {
+      ctx.s.run_until(ctx.s.now() + 1_ms);
+    }
+    return ctx.s.events_executed();
+  });
+}
+
+/// End-to-end 32-node LU sweep cell under ATC (the fig10 shape at type-B
+/// scale): measures simulator events per wall second with the full
+/// engine/scheduler/network model in the loop.
+Result macro_lu32(cluster::Approach approach) {
+  return bench(3, [approach]() -> std::uint64_t {
+    cluster::Scenario::Setup setup;
+    setup.nodes = 32;
+    setup.pcpus_per_node = 8;
+    setup.vms_per_node = 4;
+    setup.vcpus_per_vm = 8;
+    setup.approach = approach;
+    setup.seed = 7;
+    cluster::Scenario s(setup);
+    cluster::build_type_a(s, "lu", workload::NpbClass::kB);
+    s.start();
+    s.run_for(3_s);
+    return s.simulation().events_executed();
+  });
+}
+
+/// Cancel-heavy profile: sub-ms slices multiply slice-timer arm/cancel
+/// churn per unit of guest progress.
+Result macro_cancel_heavy() {
+  return bench(3, []() -> std::uint64_t {
+    cluster::Scenario::Setup setup;
+    setup.nodes = 4;
+    setup.pcpus_per_node = 8;
+    setup.vms_per_node = 4;
+    setup.vcpus_per_vm = 8;
+    setup.approach = cluster::Approach::kCR;
+    setup.params.default_time_slice = 300'000;  // 0.3 ms
+    setup.seed = 7;
+    cluster::Scenario s(setup);
+    cluster::build_type_a(s, "lu", workload::NpbClass::kB);
+    s.start();
+    s.run_for(1_s);
+    return s.simulation().events_executed();
+  });
+}
+
+/// Sync-heavy profile: 16-VCPU VMs on 8-PCPU nodes (the paper's motivation
+/// shape) under ATC make descheduled spinners, SyncEvent signalling and
+/// adaptive slice-timer churn dominate.
+Result macro_sync_heavy() {
+  return bench(3, []() -> std::uint64_t {
+    cluster::Scenario::Setup setup;
+    setup.nodes = 2;
+    setup.pcpus_per_node = 8;
+    setup.vms_per_node = 4;
+    setup.vcpus_per_vm = 16;  // wide VMs: heavy spin/sync pressure
+    setup.approach = cluster::Approach::kATC;
+    setup.seed = 7;
+    cluster::Scenario s(setup);
+    cluster::build_type_a(s, "cg", workload::NpbClass::kB);
+    s.start();
+    s.run_for(3_s);
+    return s.simulation().events_executed();
+  });
+}
+
+// ----------------------------------------------------------------- JSON ---
+
+std::string json_number(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+void emit_result(std::ostringstream& os, const char* name, const Result& r,
+                 bool last = false) {
+  os << "      \"" << name << "\": {\"per_sec\": " << json_number(r.per_sec)
+     << ", \"events\": " << r.events
+     << ", \"wall_s\": " << json_number(r.wall_s)
+     << ", \"allocs_per_event\": " << json_number(r.allocs_per_event) << "}"
+     << (last ? "\n" : ",\n");
+}
+
+std::string iso_now() {
+  char buf[32];
+  const std::time_t t = std::time(nullptr);
+  std::tm tm{};
+  gmtime_r(&t, &tm);
+  std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &tm);
+  return buf;
+}
+
+#ifndef ATCSIM_BUILD_TYPE
+#define ATCSIM_BUILD_TYPE "unknown"
+#endif
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string label = "dev";
+  std::string append_path;
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--label" && i + 1 < argc) {
+      label = argv[++i];
+    } else if (a == "--append" && i + 1 < argc) {
+      append_path = argv[++i];
+    } else if (a == "--quick") {
+      quick = true;  // skip the slowest macros (CI smoke on tiny runners)
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--label str] [--append BENCH_simcore.json] "
+                   "[--quick]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  std::fprintf(stderr, "perf_report: micro_schedule_pop...\n");
+  const Result sp = micro_schedule_pop();
+  std::fprintf(stderr, "perf_report: micro_cancel_steady...\n");
+  const Result cs = micro_cancel_steady();
+  std::fprintf(stderr, "perf_report: macro_event_throughput...\n");
+  const Result et = macro_event_throughput();
+  Result lu, ch, sy;
+  if (!quick) {
+    std::fprintf(stderr, "perf_report: macro_lu32_atc...\n");
+    lu = macro_lu32(cluster::Approach::kATC);
+    std::fprintf(stderr, "perf_report: macro_cancel_heavy...\n");
+    ch = macro_cancel_heavy();
+    std::fprintf(stderr, "perf_report: macro_sync_heavy...\n");
+    sy = macro_sync_heavy();
+  }
+
+  std::ostringstream run;
+  run << "    {\n"
+      << "      \"label\": \"" << label << "\",\n"
+      << "      \"date\": \"" << iso_now() << "\",\n"
+      << "      \"build_type\": \"" << ATCSIM_BUILD_TYPE << "\",\n";
+  emit_result(run, "micro_schedule_pop", sp);
+  emit_result(run, "micro_cancel_steady", cs);
+  emit_result(run, "macro_event_throughput", et, quick);
+  if (!quick) {
+    emit_result(run, "macro_lu32_atc", lu);
+    emit_result(run, "macro_cancel_heavy", ch);
+    emit_result(run, "macro_sync_heavy", sy, true);
+  }
+  run << "    }";
+
+  if (append_path.empty()) {
+    std::printf("%s\n", run.str().c_str());
+    return 0;
+  }
+
+  // Append into the history array of an existing report (or create one).
+  // The file is always written by this tool, so the closing "  ]\n}" marker
+  // is structural; when it is missing the file is rewritten from scratch.
+  std::string existing;
+  {
+    std::ifstream in(append_path);
+    if (in) {
+      std::ostringstream ss;
+      ss << in.rdbuf();
+      existing = ss.str();
+    }
+  }
+  const std::string tail = "\n  ]\n}\n";
+  std::string out;
+  const std::size_t at = existing.rfind(tail);
+  if (!existing.empty() && at != std::string::npos) {
+    out = existing.substr(0, at) + ",\n" + run.str() + tail;
+  } else {
+    out = std::string("{\n  \"schema\": 1,\n  \"suite\": \"simcore\",\n") +
+          "  \"history\": [\n" + run.str() + tail;
+  }
+  std::ofstream of(append_path, std::ios::trunc);
+  of << out;
+  std::fprintf(stderr, "perf_report: wrote %s\n", append_path.c_str());
+  return 0;
+}

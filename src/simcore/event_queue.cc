@@ -1,47 +1,191 @@
 #include "simcore/event_queue.h"
 
 #include <algorithm>
-#include <cassert>
-#include <utility>
 
 namespace atcsim::sim {
 
-EventId EventQueue::schedule(SimTime when, Callback fn) {
-  assert(fn && "scheduled callback must be callable");
-  const std::uint64_t seq = next_seq_++;
-  heap_.push_back(Entry{when, seq, std::move(fn)});
-  std::push_heap(heap_.begin(), heap_.end(), Later{});
-  live_.insert(seq);
-  return EventId{seq};
+// ------------------------------------------------------------ 4-ary heap --
+//
+// Children of i live at 4i+1..4i+4, parent at (i-1)/4.  With 24-byte keys a
+// node's children span at most two cache lines, and the tree is half as deep
+// as a binary heap, which is what makes sift_down cheap on large queues.
+
+void EventQueue::sift_up(std::size_t i) const {
+  const HeapKey k = heap_[i];
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 4;
+    if (!earlier(k, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = k;
 }
 
-bool EventQueue::cancel(EventId id) {
-  if (!id.valid()) return false;
-  // An event is live iff its seq is still in `live_`; cancelling simply
-  // removes it, and pop() skips heap entries whose seq is no longer live.
-  return live_.erase(id.seq) > 0;
+void EventQueue::sift_down(std::size_t i) const {
+  const std::size_t n = heap_.size();
+  const HeapKey k = heap_[i];
+  for (;;) {
+    const std::size_t first = 4 * i + 1;
+    if (first >= n) break;
+    const std::size_t last = std::min(first + 4, n);
+    std::size_t best = first;
+    for (std::size_t c = first + 1; c < last; ++c) {
+      if (earlier(heap_[c], heap_[best])) best = c;
+    }
+    if (!earlier(heap_[best], k)) break;
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = k;
+}
+
+void EventQueue::push_key(HeapKey k) const {
+  heap_.push_back(k);
+  sift_up(heap_.size() - 1);
+}
+
+void EventQueue::pop_key_top() const {
+  heap_[0] = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) sift_down(0);
 }
 
 void EventQueue::drop_dead_head() const {
-  while (!heap_.empty() && !live_.contains(heap_.front().seq)) {
-    std::pop_heap(heap_.begin(), heap_.end(), Later{});
-    heap_.pop_back();
+  while (!heap_.empty() && key_dead(heap_[0])) {
+    pop_key_top();
+    --dead_in_heap_;
   }
 }
 
+void EventQueue::maybe_compact() {
+  if (dead_in_heap_ < kCompactMin || dead_in_heap_ <= live_count_) return;
+  // In-place filter of dead keys, then a bottom-up heapify.  O(heap size),
+  // amortized O(1) per cancel because a compaction halves the array.
+  std::size_t w = 0;
+  for (const HeapKey& k : heap_) {
+    if (!key_dead(k)) heap_[w++] = k;
+  }
+  heap_.resize(w);
+  dead_in_heap_ = 0;
+  if (w > 1) {
+    for (std::size_t i = (w - 2) / 4 + 1; i-- > 0;) sift_down(i);
+  }
+}
+
+// ----------------------------------------------------------------- slab ---
+
+std::uint32_t EventQueue::alloc_slot() {
+  if (!free_.empty()) {
+    const std::uint32_t s = free_.back();
+    free_.pop_back();
+    return s;
+  }
+  slots_.emplace_back();
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+// ------------------------------------------------------------- one-shots --
+
+EventId EventQueue::schedule(SimTime when, Callback fn) {
+  assert(fn && "scheduled callback must be callable");
+  const std::uint32_t s = alloc_slot();
+  Slot& slot = slots_[s];
+  slot.fn = std::move(fn);
+  slot.is_timer = false;
+  if (++slot.generation == 0) ++slot.generation;  // 0 is the invalid tag
+  const std::uint64_t seq = next_seq_++;
+  slot.live_seq = seq;
+  push_key(HeapKey{when, seq, s});
+  ++live_count_;
+  return EventId{s, slot.generation};
+}
+
+bool EventQueue::cancel(EventId id) {
+  if (!id.valid() || id.slot >= slots_.size()) return false;
+  Slot& slot = slots_[id.slot];
+  if (slot.is_timer || slot.generation != id.generation ||
+      slot.live_seq == 0) {
+    return false;  // already fired, already cancelled, or slot reused
+  }
+  slot.live_seq = 0;
+  slot.fn.reset();  // release captured state now, not at pop time
+  free_.push_back(id.slot);
+  --live_count_;
+  ++dead_in_heap_;
+  maybe_compact();
+  return true;
+}
+
+// --------------------------------------------------------------- timers ---
+
+TimerId EventQueue::make_timer(Callback fn) {
+  assert(fn && "timer callback must be callable");
+  const std::uint32_t s = alloc_slot();
+  Slot& slot = slots_[s];
+  slot.fn = std::move(fn);
+  slot.is_timer = true;
+  slot.live_seq = 0;
+  return TimerId{s};
+}
+
+void EventQueue::arm(TimerId t, SimTime when) {
+  assert(t.valid() && t.slot < slots_.size() && slots_[t.slot].is_timer);
+  Slot& slot = slots_[t.slot];
+  if (slot.live_seq != 0) {
+    // Supersede the pending firing; its key dies in place.
+    --live_count_;
+    ++dead_in_heap_;
+  }
+  const std::uint64_t seq = next_seq_++;
+  slot.live_seq = seq;
+  push_key(HeapKey{when, seq, t.slot});
+  ++live_count_;
+  maybe_compact();
+}
+
+bool EventQueue::disarm(TimerId t) {
+  assert(t.valid() && t.slot < slots_.size() && slots_[t.slot].is_timer);
+  Slot& slot = slots_[t.slot];
+  if (slot.live_seq == 0) return false;  // not armed (or just fired)
+  slot.live_seq = 0;
+  --live_count_;
+  ++dead_in_heap_;
+  maybe_compact();
+  return true;
+}
+
+void EventQueue::invoke_timer(std::uint32_t slot) {
+  // The payload is moved to the stack around the call: the callback may
+  // allocate new slots (growing `slots_` and invalidating references), but
+  // the slot *index* stays valid, so the payload is restored afterwards.
+  Callback fn = std::move(slots_[slot].fn);
+  fn();
+  slots_[slot].fn = std::move(fn);
+}
+
+// --------------------------------------------------------------- drain ----
+
 SimTime EventQueue::next_time() const {
   drop_dead_head();
-  return heap_.empty() ? kTimeNever : heap_.front().time;
+  return heap_.empty() ? kTimeNever : heap_[0].time;
 }
 
 EventQueue::Popped EventQueue::pop() {
   drop_dead_head();
   assert(!heap_.empty() && "pop() on empty EventQueue");
-  std::pop_heap(heap_.begin(), heap_.end(), Later{});
-  Entry e = std::move(heap_.back());
-  heap_.pop_back();
-  live_.erase(e.seq);
-  return Popped{e.time, std::move(e.fn)};
+  const HeapKey k = heap_[0];
+  pop_key_top();
+  Slot& slot = slots_[k.slot];
+  slot.live_seq = 0;
+  --live_count_;
+  if (slot.is_timer) {
+    // Thunk into the slot: the payload stays in place for the next arm().
+    const std::uint32_t s = k.slot;
+    return Popped{k.time, Callback([this, s] { invoke_timer(s); })};
+  }
+  Popped out{k.time, std::move(slot.fn)};
+  free_.push_back(k.slot);
+  return out;
 }
 
 }  // namespace atcsim::sim

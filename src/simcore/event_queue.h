@@ -1,76 +1,277 @@
-// Cancellable discrete-event queue.
+// Cancellable discrete-event queue — the simulator's innermost hot path.
 //
-// A binary min-heap keyed by (time, sequence).  Cancellation is lazy: a
-// cancelled entry stays in the heap and is skipped when popped, which keeps
-// schedule/cancel O(log n)/O(1).  Ties in time are broken by insertion order
-// so runs are deterministic.
+// Zero-allocation design (see DESIGN.md §7 "Event core"):
+//
+//  * Callbacks are stored in `InlineCallback`, a small-buffer-optimized
+//    callable with a fixed 64-byte inline buffer.  Oversized or
+//    throwing-move callables fail to compile (static_assert), so the hot
+//    path can never fall back to the heap.
+//  * Liveness is tracked by generation-tagged slab slots instead of a hash
+//    set: EventId = {slot, generation}, and cancel() is two array compares —
+//    no hashing, no node allocation.
+//  * The heap is split: a 4-ary min-heap of hot 24-byte keys
+//    {time, seq, slot} is sifted during schedule/pop, while callback
+//    payloads stay put in their slab slot.  Comparisons touch only the key
+//    array (2.6 keys per cache line, half the tree depth of a binary heap).
+//  * Cancellation is lazy, but bounded: cancelling destroys the payload
+//    immediately (captured state is released right away) and leaves only a
+//    dead 24-byte key behind; when dead keys outnumber live ones the key
+//    array is compacted in place.
+//  * Recurring timers (`make_timer`/`arm`/`disarm`) keep their callback in a
+//    permanent slot and re-arm in place: per firing cost is one key push,
+//    with no construction, no slot churn and no allocation.  This is what
+//    the engine's per-PCPU slice/dispatch timers use.
+//
+// Determinism is unchanged from the original binary-heap queue: events pop
+// in (time, insertion-sequence) order, so ties in time are broken by
+// schedule order and runs are byte-identical for identical inputs.
 #pragma once
 
+#include <cassert>
 #include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <unordered_set>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "simcore/time.h"
 
 namespace atcsim::sim {
 
-/// Opaque handle identifying a scheduled event; used only for cancellation.
-struct EventId {
-  std::uint64_t seq = 0;
+/// Small-buffer-optimized `void()` callable.  Move-only; never allocates.
+/// Callables must fit kCapacity bytes and be nothrow-move-constructible —
+/// both are enforced at compile time, so growing a capture past the budget
+/// is a build error, not a silent heap fallback.
+class InlineCallback {
+ public:
+  static constexpr std::size_t kCapacity = 64;
 
-  bool valid() const { return seq != 0; }
-  friend bool operator==(EventId a, EventId b) { return a.seq == b.seq; }
+  InlineCallback() = default;
+
+  template <typename F,
+            typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, InlineCallback> &&
+                                        std::is_invocable_r_v<void, D&>>>
+  InlineCallback(F&& f) {  // NOLINT: implicit by design (lambda -> Callback)
+    static_assert(sizeof(D) <= kCapacity,
+                  "callback exceeds InlineCallback::kCapacity — shrink the "
+                  "capture (capture a context pointer instead of values)");
+    static_assert(alignof(D) <= alignof(std::max_align_t),
+                  "callback over-aligned for inline storage");
+    static_assert(std::is_nothrow_move_constructible_v<D>,
+                  "callback must be nothrow-move-constructible");
+    ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
+    ops_ = &OpsFor<D>::kOps;
+  }
+
+  InlineCallback(InlineCallback&& other) noexcept : ops_(other.ops_) {
+    if (ops_ != nullptr) {
+      ops_->relocate(buf_, other.buf_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  InlineCallback& operator=(InlineCallback&& other) noexcept {
+    if (this != &other) {
+      reset();
+      if (other.ops_ != nullptr) {
+        ops_ = other.ops_;
+        ops_->relocate(buf_, other.buf_);
+        other.ops_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  InlineCallback(const InlineCallback&) = delete;
+  InlineCallback& operator=(const InlineCallback&) = delete;
+
+  ~InlineCallback() { reset(); }
+
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  void operator()() {
+    assert(ops_ != nullptr && "invoking empty InlineCallback");
+    ops_->invoke(buf_);
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void*);
+    /// Move-constructs dst from src, then destroys src.
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void*) noexcept;
+  };
+
+  template <typename D>
+  struct OpsFor {
+    static void invoke(void* p) { (*static_cast<D*>(p))(); }
+    static void relocate(void* dst, void* src) noexcept {
+      ::new (dst) D(std::move(*static_cast<D*>(src)));
+      static_cast<D*>(src)->~D();
+    }
+    static void destroy(void* p) noexcept { static_cast<D*>(p)->~D(); }
+    static constexpr Ops kOps{&invoke, &relocate, &destroy};
+  };
+
+  alignas(std::max_align_t) unsigned char buf_[kCapacity];
+  const Ops* ops_ = nullptr;
 };
 
-/// Min-heap of timed callbacks.
+/// Opaque handle identifying a scheduled one-shot event; used only for
+/// cancellation.  {slot, generation}: the generation tag makes handles
+/// single-use — once the event fires or is cancelled, the slot's generation
+/// moves on and stale handles compare invalid.
+struct EventId {
+  std::uint32_t slot = 0;
+  std::uint32_t generation = 0;
+
+  bool valid() const { return generation != 0; }
+  friend bool operator==(EventId a, EventId b) {
+    return a.slot == b.slot && a.generation == b.generation;
+  }
+};
+
+/// Handle to a recurring timer created by EventQueue::make_timer.  Timers
+/// keep their callback in a permanent slab slot for the queue's lifetime and
+/// are re-armed in place.
+struct TimerId {
+  std::uint32_t slot = kInvalid;
+
+  static constexpr std::uint32_t kInvalid = UINT32_MAX;
+  bool valid() const { return slot != kInvalid; }
+};
+
+/// Min-heap of timed callbacks (see file comment for the data layout).
 class EventQueue {
  public:
-  using Callback = std::function<void()>;
+  using Callback = InlineCallback;
+
+  EventQueue() = default;
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
 
   /// Schedules `fn` to run at absolute time `when`.  `when` must not be in
   /// the past relative to the last popped event.
   EventId schedule(SimTime when, Callback fn);
 
   /// Cancels a previously scheduled event.  Returns false when the event has
-  /// already fired or was already cancelled.
+  /// already fired or was already cancelled.  The callback (and everything
+  /// it captured) is destroyed immediately.
   bool cancel(EventId id);
 
-  /// True when no live (non-cancelled) events remain.
-  bool empty() const { return live_.empty(); }
+  // --- recurring timers --------------------------------------------------
+  //
+  // A timer owns one slab slot for the queue's lifetime.  arm() schedules
+  // the next firing (superseding any pending one), disarm() cancels it;
+  // firing disarms automatically, and the callback may re-arm itself.
+  // An armed timer counts toward size()/empty() exactly like a one-shot.
 
-  std::size_t size() const { return live_.size(); }
+  TimerId make_timer(Callback fn);
+
+  /// Arms (or re-arms) the timer to fire at absolute time `when`.
+  void arm(TimerId t, SimTime when);
+
+  /// Cancels the pending firing, if any.  Returns false when not armed.
+  bool disarm(TimerId t);
+
+  bool armed(TimerId t) const {
+    assert(t.valid() && t.slot < slots_.size());
+    return slots_[t.slot].live_seq != 0;
+  }
+
+  // --- draining ----------------------------------------------------------
+
+  /// True when no live (non-cancelled) events remain.
+  bool empty() const { return live_count_ == 0; }
+
+  std::size_t size() const { return live_count_; }
 
   /// Time of the earliest live event, or kTimeNever when empty.
   SimTime next_time() const;
 
   /// Pops and returns the earliest live event.  Precondition: !empty().
+  /// Invoke `fn` before destroying the queue; for timer events it thunks
+  /// into the timer's slot payload.
   struct Popped {
     SimTime time;
     Callback fn;
   };
   Popped pop();
 
+  // --- observability (tests/benchmarks) ----------------------------------
+
+  /// Total keys in the heap array, live + dead.  Bounded by compaction at
+  /// O(live): after every dead-producing operation, dead keys never exceed
+  /// max(kCompactMin - 1, live).
+  std::size_t heap_size() const { return heap_.size(); }
+
+  /// Dead (cancelled/superseded) keys currently retained in the heap.
+  std::size_t dead_entries() const { return dead_in_heap_; }
+
+  /// Slab slots allocated over the queue's lifetime (high-water mark of
+  /// concurrently live events + timers).
+  std::size_t slot_count() const { return slots_.size(); }
+
  private:
-  struct Entry {
+  /// Hot comparison key.  24 bytes: sifting touches only this array.
+  struct HeapKey {
     SimTime time;
     std::uint64_t seq;
+    std::uint32_t slot;
+  };
+
+  struct Slot {
     Callback fn;
-  };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
+    /// Sequence number of the live heap key pointing at this slot; 0 when
+    /// none (free, cancelled, fired, or disarmed).  A heap key is dead iff
+    /// slots_[key.slot].live_seq != key.seq.
+    std::uint64_t live_seq = 0;
+    /// Bumped on every one-shot allocation; EventId carries a copy, so
+    /// stale handles to reused slots fail the generation compare.
+    std::uint32_t generation = 0;
+    bool is_timer = false;
   };
 
+  /// Compaction threshold: dead keys are tolerated up to the number of live
+  /// keys (amortized O(1) per cancel) but at least this many, so small
+  /// queues never compact.
+  static constexpr std::size_t kCompactMin = 64;
+
+  static bool earlier(const HeapKey& a, const HeapKey& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.seq < b.seq;
+  }
+
+  bool key_dead(const HeapKey& k) const {
+    return slots_[k.slot].live_seq != k.seq;
+  }
+
+  std::uint32_t alloc_slot();
+  void push_key(HeapKey k) const;  // const: shares mutable heap_ plumbing
+  void pop_key_top() const;
+  void sift_up(std::size_t i) const;
+  void sift_down(std::size_t i) const;
   void drop_dead_head() const;
+  void maybe_compact();
+  void invoke_timer(std::uint32_t slot);
 
-  // `heap_` is mutable so const accessors can prune cancelled heads.
-  mutable std::vector<Entry> heap_;
-  std::unordered_set<std::uint64_t> live_;
+  // `heap_` and `dead_in_heap_` are mutable so const accessors
+  // (next_time) can prune cancelled heads.
+  mutable std::vector<HeapKey> heap_;
+  mutable std::size_t dead_in_heap_ = 0;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_;
   std::uint64_t next_seq_ = 1;
+  std::size_t live_count_ = 0;
 };
 
 }  // namespace atcsim::sim

@@ -14,7 +14,9 @@ void Simulation::trace_dispatch(std::uint64_t executed_in_run) {
   trace_->emit(e);
 }
 
-std::uint64_t Simulation::run_until(SimTime deadline) {
+// The one event loop: run() and run_until() are thin wrappers so the trace
+// hook and stop semantics can never drift apart between them.
+std::uint64_t Simulation::drain(SimTime deadline) {
   std::uint64_t executed = 0;
   stop_requested_ = false;
   while (!stop_requested_ && !queue_.empty() &&
@@ -28,26 +30,16 @@ std::uint64_t Simulation::run_until(SimTime deadline) {
     ev.fn();
     ++executed;
   }
-  if (now_ < deadline) now_ = deadline;
   events_executed_ += executed;
   return executed;
 }
 
-std::uint64_t Simulation::run() {
-  std::uint64_t executed = 0;
-  stop_requested_ = false;
-  while (!stop_requested_ && !queue_.empty()) {
-    EventQueue::Popped ev = queue_.pop();
-    assert(ev.time >= now_ && "event scheduled in the past");
-    now_ = ev.time;
-#if ATCSIM_TRACE_ENABLED
-    if (trace_ != nullptr) trace_dispatch(executed);
-#endif
-    ev.fn();
-    ++executed;
-  }
-  events_executed_ += executed;
+std::uint64_t Simulation::run_until(SimTime deadline) {
+  const std::uint64_t executed = drain(deadline);
+  if (now_ < deadline) now_ = deadline;
   return executed;
 }
+
+std::uint64_t Simulation::run() { return drain(kTimeNever); }
 
 }  // namespace atcsim::sim

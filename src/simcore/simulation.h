@@ -34,6 +34,19 @@ class Simulation {
 
   bool cancel(EventId id) { return queue_.cancel(id); }
 
+  // --- recurring timers: reusable slots, re-armed in place ---------------
+  // The engine's per-PCPU slice/dispatch timers go through these; a firing
+  // costs one heap-key push with no callback construction or allocation.
+
+  TimerId make_timer(EventQueue::Callback fn) {
+    return queue_.make_timer(std::move(fn));
+  }
+  void arm_at(TimerId t, SimTime when) { queue_.arm(t, when); }
+  void arm_in(TimerId t, SimTime delay) { queue_.arm(t, now_ + delay); }
+  /// Cancels the pending firing, if any; no-op (returns false) when the
+  /// timer is not armed — e.g. when it just fired.
+  bool disarm(TimerId t) { return queue_.disarm(t); }
+
   /// Runs events until the queue drains or `deadline` is reached; the clock
   /// is advanced to the deadline when events remain.  Returns the number of
   /// events executed.
@@ -58,6 +71,7 @@ class Simulation {
 
  private:
   void trace_dispatch(std::uint64_t executed_in_run);
+  std::uint64_t drain(SimTime deadline);
 
   EventQueue queue_;
   SimTime now_ = 0;

@@ -38,6 +38,36 @@ Engine::Engine(sim::Simulation& simulation, Platform& platform)
 void Engine::start() {
   assert(!started_ && "Engine::start called twice");
   started_ = true;
+  // Create the reusable timer slots.  One set per PCPU plus a segment timer
+  // per VCPU; every dispatch cycle re-arms these in place, so the steady
+  // state never constructs a callback or touches the allocator.  Creation
+  // order is irrelevant to determinism: only arm() consumes sequence
+  // numbers.
+  for (auto& node : platform_->nodes()) {
+    for (auto& p : node->pcpus()) {
+      Pcpu* pp = p.get();
+      pp->eng().dispatch_timer = sim_->make_timer([this, pp] {
+        pp->eng().dispatch_pending = false;
+        dispatch(*pp);
+      });
+      pp->eng().slice_timer =
+          sim_->make_timer([this, pp] { slice_expired(*pp); });
+      pp->eng().resched_timer = sim_->make_timer([this, pp] {
+        pp->eng().resched_pending = false;
+        if (!pp->idle() && !pp->eng().in_dispatch) request_resched(*pp);
+      });
+    }
+    for (auto& vm : node->vms()) {
+      for (auto& v : vm->vcpus()) {
+        Vcpu* vp = v.get();
+        vp->eng().segment_timer = sim_->make_timer([this, vp] {
+          Pcpu* p = vp->eng().on_pcpu;
+          assert(p != nullptr && "segment timer fired off-CPU");
+          compute_finished(*p, *vp);
+        });
+      }
+    }
+  }
   for (auto& node : platform_->nodes()) {
     assert(node->has_scheduler() && "every node needs a scheduler");
     node->scheduler().attach(*node, *this);
@@ -61,11 +91,7 @@ void Engine::start() {
 void Engine::schedule_dispatch(Pcpu& p) {
   if (p.eng().dispatch_pending) return;
   p.eng().dispatch_pending = true;
-  Pcpu* pp = &p;
-  sim_->call_in(0, [this, pp] {
-    pp->eng().dispatch_pending = false;
-    dispatch(*pp);
-  });
+  sim_->arm_in(p.eng().dispatch_timer, 0);
 }
 
 void Engine::kick_idle_pcpus(Node& node) {
@@ -126,9 +152,7 @@ void Engine::dispatch(Pcpu& p) {
       std::max(p.node().scheduler().slice_for(*v), mp.min_time_slice),
       mp.slice_jitter);
   p.eng().slice_end = now + slice;
-  Pcpu* pp = &p;
-  p.eng().slice_event = sim_->call_at(p.eng().slice_end,
-                                      [this, pp] { slice_expired(*pp); });
+  sim_->arm_at(p.eng().slice_timer, p.eng().slice_end);
   v->eng().stint_start = now;
   v->eng().segment_start = now;
   ATCSIM_TRACE(sim_->trace(),
@@ -166,9 +190,7 @@ void Engine::run_current(Pcpu& p) {
         e.segment_start = now;
         const SimTime end = now + need;
         if (end < p.eng().slice_end) {
-          Pcpu* pp = &p;
-          e.segment_event =
-              sim_->call_at(end, [this, pp, v] { compute_finished(*pp, *v); });
+          sim_->arm_at(e.segment_timer, end);
         }
         return;  // compute until segment end or slice expiry
       }
@@ -216,7 +238,6 @@ void Engine::run_current(Pcpu& p) {
 
 void Engine::compute_finished(Pcpu& p, Vcpu& v) {
   assert(p.current() == &v);
-  v.eng().segment_event = sim::EventId{};
   account_segment(p, v);
   assert(v.eng().cache_debt <= 0 && v.eng().compute_left <= 0);
   v.eng().action_valid = false;
@@ -252,14 +273,8 @@ void Engine::leave_cpu(Pcpu& p, LeaveReason reason) {
   assert(v != nullptr);
   account_segment(p, *v);
   auto& e = v->eng();
-  if (e.segment_event.valid()) {
-    sim_->cancel(e.segment_event);
-    e.segment_event = sim::EventId{};
-  }
-  if (p.eng().slice_event.valid()) {
-    sim_->cancel(p.eng().slice_event);  // no-op when the event just fired
-    p.eng().slice_event = sim::EventId{};
-  }
+  sim_->disarm(e.segment_timer);
+  sim_->disarm(p.eng().slice_timer);  // no-op when the slice just expired
   const SimTime now = sim_->now();
   const SimTime stint = now - e.stint_start;
   e.last_stint = stint;
@@ -364,11 +379,7 @@ void Engine::request_resched(Pcpu& p) {
   if (sim_->now() < earliest) {
     if (p.eng().resched_pending) return;
     p.eng().resched_pending = true;
-    Pcpu* pp = &p;
-    sim_->call_at(earliest, [this, pp] {
-      pp->eng().resched_pending = false;
-      if (!pp->idle() && !pp->eng().in_dispatch) request_resched(*pp);
-    });
+    sim_->arm_at(p.eng().resched_timer, earliest);
     return;
   }
   leave_cpu(p, LeaveReason::kPreempt);

@@ -28,7 +28,11 @@ class Pcpu {
 
   // Engine working state (engine.cc is the only writer).
   struct EngineState {
-    sim::EventId slice_event;      ///< pending slice-expiry event
+    // Reusable timer slots, created once by Engine::start(): dispatches and
+    // slice expiries re-arm in place instead of cancel+alloc+push per cycle.
+    sim::TimerId slice_timer;      ///< slice-expiry timer
+    sim::TimerId dispatch_timer;   ///< zero-delay dispatch trampoline
+    sim::TimerId resched_timer;    ///< deferred (ratelimited) preemption
     sim::SimTime slice_end = 0;    ///< absolute end of current slice
     /// Last VCPU that occupied the core; used for the cache-warmth model
     /// (no refill when the same VCPU resumes with nothing in between).

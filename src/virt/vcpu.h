@@ -82,7 +82,7 @@ class Vcpu {
     sim::SimTime spin_episode_start = 0;///< wall start of current spin wait
     bool in_spin_episode = false;
     bool wait_registered = false;       ///< in its event's waiter list
-    sim::EventId segment_event;         ///< compute-finish event
+    sim::TimerId segment_timer;         ///< compute-finish timer (reusable)
     class Pcpu* on_pcpu = nullptr;      ///< set while kRunning
   };
   EngineState& eng() { return eng_; }

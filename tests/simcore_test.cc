@@ -88,6 +88,149 @@ TEST(EventQueueTest, InvalidIdCancelIsNoop) {
   EXPECT_FALSE(q.cancel(EventId{}));
 }
 
+TEST(EventQueueTest, StaleIdOnReusedSlotDoesNotCancelNewEvent) {
+  EventQueue q;
+  // Fire A; its slab slot goes back on the free list and B reuses it.  The
+  // stale handle to A must fail the generation compare, not kill B.
+  EventId a = q.schedule(10, [] {});
+  q.pop().fn();
+  bool b_ran = false;
+  EventId b = q.schedule(20, [&] { b_ran = true; });
+  EXPECT_EQ(a.slot, b.slot) << "test premise: slot is reused LIFO";
+  EXPECT_NE(a.generation, b.generation);
+  EXPECT_FALSE(q.cancel(a));
+  EXPECT_EQ(q.size(), 1u);
+  q.pop().fn();
+  EXPECT_TRUE(b_ran);
+}
+
+TEST(EventQueueTest, CancelDestroysCapturedStateImmediately) {
+  EventQueue q;
+  auto token = std::make_shared<int>(42);
+  std::weak_ptr<int> watch = token;
+  EventId id = q.schedule(10, [token] { (void)*token; });
+  token.reset();
+  EXPECT_FALSE(watch.expired()) << "callback keeps the capture alive";
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_TRUE(watch.expired())
+      << "cancel must release captured state immediately, not at pop";
+}
+
+TEST(EventQueueTest, DeadEntriesAreCompactedBounded) {
+  EventQueue q;
+  // Cancel-heavy churn with one persistent live event: the heap may retain
+  // dead keys only up to the compaction bound, never proportional to the
+  // total number of cancels.
+  q.schedule(1'000'000'000, [] {});
+  for (int i = 0; i < 10'000; ++i) {
+    EventId id = q.schedule(1000 + i, [] {});
+    q.cancel(id);
+    EXPECT_LE(q.heap_size(), 200u)
+        << "dead keys accumulate without bound (i=" << i << ")";
+  }
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueueTest, TimerArmsFiresAndRearms) {
+  EventQueue q;
+  std::vector<SimTime> fired_at;
+  TimerId t = q.make_timer([&] { fired_at.push_back(-1); });
+  EXPECT_TRUE(t.valid());
+  EXPECT_FALSE(q.armed(t));
+  EXPECT_TRUE(q.empty()) << "unarmed timer is not a live event";
+
+  q.arm(t, 10);
+  EXPECT_TRUE(q.armed(t));
+  EXPECT_EQ(q.size(), 1u);
+  auto p = q.pop();
+  EXPECT_EQ(p.time, 10);
+  EXPECT_FALSE(q.armed(t)) << "firing disarms";
+  p.fn();
+  EXPECT_EQ(fired_at.size(), 1u);
+
+  q.arm(t, 20);  // re-arm in place after firing
+  EXPECT_EQ(q.next_time(), 20);
+  q.pop().fn();
+  EXPECT_EQ(fired_at.size(), 2u);
+}
+
+TEST(EventQueueTest, TimerRearmSupersedesPendingFiring) {
+  EventQueue q;
+  int fired = 0;
+  TimerId t = q.make_timer([&] { ++fired; });
+  q.arm(t, 10);
+  q.arm(t, 30);  // supersedes the t=10 firing
+  q.schedule(20, [] {});
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(q.next_time(), 20) << "superseded firing must be dead";
+  q.pop().fn();  // the one-shot at 20
+  EXPECT_EQ(fired, 0);
+  auto p = q.pop();
+  EXPECT_EQ(p.time, 30);
+  p.fn();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueueTest, TimerDisarmCancelsPendingFiring) {
+  EventQueue q;
+  int fired = 0;
+  TimerId t = q.make_timer([&] { ++fired; });
+  EXPECT_FALSE(q.disarm(t)) << "disarming an unarmed timer is a no-op";
+  q.arm(t, 10);
+  EXPECT_TRUE(q.disarm(t));
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(q.disarm(t)) << "double disarm";
+  EXPECT_EQ(q.next_time(), kTimeNever);
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(EventQueueTest, TimerCallbackMayCreateSlotsWhileFiring) {
+  // Firing a timer whose callback schedules new events can grow the slab
+  // under the invoked payload; the queue relocates the payload around the
+  // call, so this must be safe even when the slab vector reallocates.
+  EventQueue q;
+  std::vector<TimerId> timers;
+  int fired = 0;
+  TimerId t = q.make_timer([&] {
+    for (int i = 0; i < 64; ++i) {
+      q.schedule(1000 + i, [] {});  // forces slab growth mid-invoke
+    }
+    ++fired;
+  });
+  q.arm(t, 1);
+  q.pop().fn();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(q.size(), 64u);
+  q.arm(t, 2);  // payload must have been restored into its slot
+  auto p = q.pop();
+  EXPECT_EQ(p.time, 2);
+  p.fn();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(InlineCallbackTest, MoveTransfersAndEmptiesSource) {
+  int hits = 0;
+  InlineCallback a = [&hits] { ++hits; };
+  EXPECT_TRUE(static_cast<bool>(a));
+  InlineCallback b = std::move(a);
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT: testing moved-from state
+  b();
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(InlineCallbackTest, DestroysCaptureExactlyOnce) {
+  auto token = std::make_shared<int>(7);
+  std::weak_ptr<int> watch = token;
+  {
+    InlineCallback cb = [token] { (void)*token; };
+    token.reset();
+    EXPECT_FALSE(watch.expired());
+    InlineCallback moved = std::move(cb);
+    EXPECT_FALSE(watch.expired());
+  }
+  EXPECT_TRUE(watch.expired());
+}
+
 TEST(SimulationTest, RunUntilAdvancesClockToDeadline) {
   Simulation s;
   int fired = 0;
