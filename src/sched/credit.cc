@@ -41,7 +41,15 @@ CreditScheduler::CreditScheduler(Options opts) : opts_(opts) {}
 void CreditScheduler::attach(virt::Node& node, virt::Engine& engine) {
   node_ = &node;
   engine_ = &engine;
-  queues_.assign(node.pcpus().size(), {});
+  queues_.init(node.pcpus().size(), node.vms().size());
+  // Dense node-local VM indices back the per-queue sibling counters that
+  // make Balance placement O(P); assigned once — the VM set is fixed by the
+  // time the engine attaches schedulers.
+  for (std::size_t i = 0; i < node.vms().size(); ++i) {
+    for (auto& v : node.vms()[i]->vcpus()) {
+      v->sched().rq.vm = static_cast<std::int32_t>(i);
+    }
+  }
   rng_ = engine.platform().rng().split(
       static_cast<std::uint64_t>(node.index()) + 0x5EED);
   const SimTime period = engine.params().accounting_period;
@@ -68,11 +76,11 @@ void CreditScheduler::attach(virt::Node& node, virt::Engine& engine) {
 }
 
 void CreditScheduler::tick() {
-  for (std::size_t q = 0; q < queues_.size(); ++q) {
+  for (std::size_t q = 0; q < queues_.queue_count(); ++q) {
     Pcpu& p = *node_->pcpus()[q];
-    if (p.idle() || queues_[q].empty()) continue;
-    if (effective_prio(*queues_[q].front()) <
-        effective_prio(*p.current())) {
+    Vcpu* head = queues_.front(static_cast<int>(q));
+    if (p.idle() || head == nullptr) continue;
+    if (effective_prio(*head) < effective_prio(*p.current())) {
       ATCSIM_TRACE(engine().simulation().trace(),
                    sched_event(engine().simulation().now(),
                                obs::ev::kTickPreempt, *p.current(),
@@ -95,21 +103,12 @@ virt::CreditPrio CreditScheduler::effective_prio(const Vcpu& v) const {
 void CreditScheduler::enqueue(Vcpu& v) {
   const int q = static_cast<int>(
       engine().platform().pcpu(v.sched().queue).index_in_node());
-  auto& dq = queues_[static_cast<std::size_t>(q)];
   const CreditPrio prio = effective_prio(v);
-  const double credits = v.sched().credits;
   // Priority class first; within a class, larger credit balance first (with
   // a dead band so near-equal balances keep FIFO order).  A VM consuming
   // under its entitlement (large positive balance) thereby keeps its core
   // ahead of spinners that only just crossed zero.
-  auto it = dq.begin();
-  while (it != dq.end()) {
-    const CreditPrio other = effective_prio(**it);
-    if (other > prio) break;
-    if (other == prio && (*it)->sched().credits < credits - 30.0) break;
-    ++it;
-  }
-  dq.insert(it, &v);
+  queues_.insert(v, q, prio, opts_.credit_dead_band);
   ATCSIM_TRACE(engine().simulation().trace(),
                sched_event(engine().simulation().now(), obs::ev::kEnqueue, v,
                            static_cast<std::int64_t>(prio),
@@ -117,21 +116,11 @@ void CreditScheduler::enqueue(Vcpu& v) {
 }
 
 bool CreditScheduler::remove_from_queue(Vcpu& v) {
-  for (auto& dq : queues_) {
-    auto it = std::find(dq.begin(), dq.end(), &v);
-    if (it != dq.end()) {
-      dq.erase(it);
-      return true;
-    }
-  }
-  return false;
+  return queues_.erase(v);
 }
 
 int CreditScheduler::siblings_in_queue(const Vcpu& v, int q) const {
-  int count = 0;
-  for (const Vcpu* w : queues_[static_cast<std::size_t>(q)]) {
-    if (&w->vm() == &v.vm()) ++count;
-  }
+  int count = queues_.queued_of_vm(q, v.sched().rq.vm);
   const Pcpu& p = *node_->pcpus()[static_cast<std::size_t>(q)];
   if (p.current() != nullptr && &p.current()->vm() == &v.vm()) ++count;
   return count;
@@ -141,17 +130,18 @@ int CreditScheduler::place(Vcpu& v) {
   if (v.sched().pinned.valid()) {
     return engine().platform().pcpu(v.sched().pinned).index_in_node();
   }
-  const int n = static_cast<int>(queues_.size());
+  const int n = static_cast<int>(queues_.queue_count());
   if (opts_.placement == Placement::kAffinity) {
     // Xen does not balance siblings: initial placement is effectively
     // arbitrary; we draw uniformly.
     return static_cast<int>(rng_.uniform_int(0, n - 1));
   }
-  // Balance Scheduling: fewest same-VM siblings, then shortest queue.
+  // Balance Scheduling: fewest same-VM siblings, then shortest queue.  Each
+  // key is O(1) off the sibling counters, so placement is O(P).
   int best = 0;
   auto key = [&](int q) {
-    return std::pair<int, std::size_t>(
-        siblings_in_queue(v, q), queues_[static_cast<std::size_t>(q)].size());
+    return std::pair<int, std::size_t>(siblings_in_queue(v, q),
+                                       queues_.depth(q));
   };
   for (int q = 1; q < n; ++q) {
     if (key(q) < key(best)) best = q;
@@ -198,24 +188,23 @@ void CreditScheduler::on_exit(Vcpu& /*v*/) {}
 
 Vcpu* CreditScheduler::pick_next(Pcpu& p) {
   const int self = p.index_in_node();
-  auto& own = queues_[static_cast<std::size_t>(self)];
+  Vcpu* own_front = queues_.front(self);
 
   // Xen's csched_load_balance: when the local candidate is not top
   // priority, steal a higher-priority VCPU from a sibling queue.  This is
   // what keeps weight-fairness across unevenly loaded run queues (starved
   // VCPUs accumulate credits, turn UNDER, and get pulled over).
-  const CreditPrio own_prio = own.empty() || is_parked(*own.front())
+  const CreditPrio own_prio = own_front == nullptr || is_parked(*own_front)
                                   ? CreditPrio::kParked
-                                  : effective_prio(*own.front());
+                                  : effective_prio(*own_front);
   if (opts_.work_stealing && own_prio != CreditPrio::kBoost) {
-    const int n = static_cast<int>(queues_.size());
+    const int n = static_cast<int>(queues_.queue_count());
     int best_q = -1;
     CreditPrio best_prio = own_prio;
     for (int off = 1; off < n; ++off) {
       const int q = (self + off) % n;
-      const auto& dq = queues_[static_cast<std::size_t>(q)];
-      if (dq.empty()) continue;
-      Vcpu* cand = dq.front();
+      Vcpu* cand = queues_.front(q);
+      if (cand == nullptr) continue;
       if (cand->sched().pinned.valid()) continue;  // cannot migrate
       const CreditPrio prio = effective_prio(*cand);
       if (prio == CreditPrio::kParked) continue;
@@ -226,9 +215,7 @@ Vcpu* CreditScheduler::pick_next(Pcpu& p) {
       }
     }
     if (best_q >= 0) {
-      auto& dq = queues_[static_cast<std::size_t>(best_q)];
-      Vcpu* v = dq.front();
-      dq.pop_front();
+      Vcpu* v = queues_.pop_front(best_q);
       v->sched().boosted = false;
       v->sched().queue = p.id();  // migrate to the stealing queue
       ATCSIM_TRACE(engine().simulation().trace(),
@@ -238,9 +225,8 @@ Vcpu* CreditScheduler::pick_next(Pcpu& p) {
       return v;
     }
   }
-  if (own.empty() || is_parked(*own.front())) return nullptr;
-  Vcpu* v = own.front();
-  own.pop_front();
+  if (own_front == nullptr || is_parked(*own_front)) return nullptr;
+  Vcpu* v = queues_.pop_front(self);
   ATCSIM_TRACE(engine().simulation().trace(),
                sched_event(engine().simulation().now(), obs::ev::kPick, *v,
                            static_cast<std::int64_t>(effective_prio(*v)),
@@ -336,11 +322,12 @@ void CreditScheduler::refill_credits() {
 }
 
 void CreditScheduler::resort_queues() {
-  for (auto& dq : queues_) {
-    std::stable_sort(dq.begin(), dq.end(), [this](Vcpu* a, Vcpu* b) {
-      return effective_prio(*a) < effective_prio(*b);
-    });
-  }
+  // Refill may have changed any queued VCPU's class (OVER -> UNDER,
+  // PARKED -> UNDER); re-file everything stably, as the historical
+  // stable_sort-by-class did.  Between refills a queued VCPU's class is
+  // invariant (credits only change off-queue), which is what makes the
+  // class-bucketed representation exact.
+  queues_.rebucket([this](Vcpu& v) { return effective_prio(v); });
 }
 
 }  // namespace atcsim::sched

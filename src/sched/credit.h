@@ -17,10 +17,10 @@
 // fewest siblings of the same VM (BS's sibling-disjoint invariant).
 #pragma once
 
-#include <deque>
 #include <string>
 #include <vector>
 
+#include "sched/run_queue.h"
 #include "simcore/rng.h"
 #include "virt/engine.h"
 #include "virt/scheduler.h"
@@ -39,6 +39,12 @@ class CreditScheduler : public virt::Scheduler {
     Placement placement = Placement::kAffinity;
     /// Steal work from sibling queues when a PCPU would otherwise idle.
     bool work_stealing = true;
+    /// Credit-ordered intra-class queueing dead band (DESIGN.md §3.8): an
+    /// enqueued VCPU is filed ahead of a same-class VCPU only when its
+    /// balance exceeds the other's by more than this many credits;
+    /// near-equal balances keep FIFO order.  30.0 ~ one slice's debit at
+    /// default parameters (the historical hardcoded value).
+    double credit_dead_band = 30.0;
   };
 
   CreditScheduler() : CreditScheduler(Options{}) {}
@@ -57,13 +63,10 @@ class CreditScheduler : public virt::Scheduler {
   Pcpu* wake_preemption_target(Vcpu& v) override;
 
   /// Queue length (runnable VCPUs) of PCPU index `q`, for tests/policies.
-  std::size_t queue_depth(int q) const {
-    return queues_[static_cast<std::size_t>(q)].size();
-  }
+  std::size_t queue_depth(int q) const { return queues_.depth(q); }
   /// Front (next natural pick) of queue `q`; queue must be non-empty.
-  Vcpu* queue_front(int q) const {
-    return queues_[static_cast<std::size_t>(q)].front();
-  }
+  Vcpu* queue_front(int q) const { return queues_.front(q); }
+  const Options& options() const { return opts_; }
 
  protected:
   virt::Node& node() { return *node_; }
@@ -94,7 +97,9 @@ class CreditScheduler : public virt::Scheduler {
   virt::Node* node_ = nullptr;
   virt::Engine* engine_ = nullptr;
   sim::Rng rng_{0};
-  std::vector<std::deque<Vcpu*>> queues_;  // index = pcpu index_in_node
+  /// Indexed run queues (index = pcpu index_in_node): intrusive per-class
+  /// lists + per-queue per-VM sibling counters; see run_queue.h.
+  IndexedRunQueues queues_;
 };
 
 }  // namespace atcsim::sched

@@ -57,6 +57,19 @@ class Vcpu {
   };
   const Totals& totals() const { return totals_; }
 
+  /// Intrusive run-queue handle, owned by the node's scheduler
+  /// (sched::IndexedRunQueues).  Gives O(1) membership tests and unlinks:
+  /// `queue`/`cls` are -1 while the VCPU is not on any run queue.  `vm` is
+  /// the dense node-local VM index assigned at scheduler attach; it backs
+  /// the per-queue sibling counters that make Balance placement O(P).
+  struct RunQueueLink {
+    Vcpu* prev = nullptr;
+    Vcpu* next = nullptr;
+    std::int32_t queue = -1;  ///< run-queue index (pcpu index_in_node)
+    std::int8_t cls = -1;     ///< CreditPrio bucket it was filed under
+    std::int32_t vm = -1;     ///< dense node-local VM index (set at attach)
+  };
+
   // ---------------------------------------------------------------------
   // Engine/scheduler working state.  Public struct rather than friend
   // spaghetti: only the engine and schedulers touch it.
@@ -67,6 +80,7 @@ class Vcpu {
     PcpuId queue;      ///< run-queue (PCPU) this VCPU is assigned to
     PcpuId last_pcpu;  ///< last PCPU it ran on (cache affinity)
     PcpuId pinned;     ///< hard affinity ("xl vcpu-pin"); invalid = none
+    RunQueueLink rq;   ///< intrusive run-queue position (scheduler-owned)
   };
   Sched& sched() { return sched_; }
   const Sched& sched() const { return sched_; }
