@@ -31,11 +31,20 @@ void PeriodMonitor::sample() {
     virt::Vm& vm = platform_->vm(virt::VmId{static_cast<std::int32_t>(id)});
     virt::Vm::PeriodStats snap = vm.period();
     // Fold in spins that have not finished yet: a VM whose VCPUs are stuck
-    // mid-episode must not look idle to the controller.
+    // mid-episode must not look idle to the controller.  The folded segment
+    // is consumed here — advance the episode's start mark so that
+    // Engine::end_spin_episode charges only the post-boundary remainder to
+    // the next period, and credit the segment to the lifetime totals now
+    // (end_spin_episode will no longer see it).  Without the advance the
+    // pre-boundary wall time was double-counted: once in this snapshot and
+    // again in full in the period where the episode ended.
     for (const auto& v : vm.vcpus()) {
       if (v->eng().in_spin_episode) {
-        snap.spin_wall += now - v->eng().spin_episode_start;
+        const SimTime segment = now - v->eng().spin_episode_start;
+        snap.spin_wall += segment;
         snap.spin_episodes += 1;
+        vm.totals().spin_wall += segment;
+        v->eng().spin_episode_start = now;
       }
     }
     last_[id] = snap;

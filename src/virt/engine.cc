@@ -310,6 +310,9 @@ void Engine::leave_cpu(Pcpu& p, LeaveReason reason) {
 void Engine::end_spin_episode(Vcpu& v) {
   auto& e = v.eng();
   if (!e.in_spin_episode) return;
+  // spin_episode_start is advanced by PeriodMonitor::sample at every period
+  // boundary the episode spans, so `wall` here is only the segment since the
+  // last boundary — earlier segments were already charged at sample time.
   const SimTime wall = sim_->now() - e.spin_episode_start;
   e.in_spin_episode = false;
   e.wait_registered = false;

@@ -144,8 +144,8 @@ TEST(IntegrationTest, NonParallelAppUnaffectedByAtc30) {
 }
 
 TEST(IntegrationTest, Atc6msAdminSliceDegradesCpuApps) {
-  auto sphinx_rate = [](bool admin6) {
-    Scenario s(small_setup(Approach::kATC, 7));
+  auto sphinx_rate = [](bool admin6, std::uint64_t seed) {
+    Scenario s(small_setup(Approach::kATC, seed));
     for (int j = 0; j < 3; ++j) {
       auto vms = s.create_cluster_vms("vc" + std::to_string(j), {0, 1});
       s.add_bsp_app("vc" + std::to_string(j),
@@ -159,8 +159,15 @@ TEST(IntegrationTest, Atc6msAdminSliceDegradesCpuApps) {
     s.warmup_and_measure(2_s, 3_s);
     return s.metrics().rate("sphinx3").per_second();
   };
-  // Fig. 14: ATC(6ms) costs CPU apps some context-switch overhead.
-  EXPECT_LT(sphinx_rate(true), sphinx_rate(false));
+  // Fig. 14: ATC(6ms) costs CPU apps some context-switch overhead.  The
+  // per-seed effect is small, so compare means over several seeds rather
+  // than a single (noise-dominated) pair.
+  double with6 = 0.0, without = 0.0;
+  for (std::uint64_t seed : {7u, 8u, 9u}) {
+    with6 += sphinx_rate(true, seed);
+    without += sphinx_rate(false, seed);
+  }
+  EXPECT_LT(with6, without);
 }
 
 TEST(IntegrationTest, WholeStackDeterminism) {

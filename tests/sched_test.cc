@@ -296,6 +296,63 @@ TEST(MonitorTest, InFlightSpinEpisodesAreVisible) {
   EXPECT_GT(monitor.avg_spin_latency(vm.id()), 0);
 }
 
+// One spin episode spanning several accounting periods: sampling must not
+// double-count the pre-boundary wall time.  Regression for a bug where
+// sample() folded the in-progress segment into its snapshot without
+// advancing spin_episode_start, so end_spin_episode later charged the FULL
+// episode to the final period again (periods summed to more spin than the
+// episode's actual wall time).
+TEST(MonitorTest, SpanningEpisodeConservesPeriodAndTotalSpin) {
+  virt::ModelParams params;
+  params.slice_jitter = 0.0;
+  params.context_switch_cost = 0;
+  params.cache_refill_penalty = 0;
+  SchedRig rig(1, params);
+  virt::Vm& vm = rig.platform->create_vm(virt::NodeId{0}, VmType::kParallel,
+                                         "spanner", 1);
+  virt::SyncEvent ev(rig.platform->engine());
+  class OneSpinWorkload : public virt::Workload {
+   public:
+    explicit OneSpinWorkload(virt::SyncEvent& ev) : ev_(&ev) {}
+    Action next(Vcpu&) override {
+      if (done_) return Action::exit();
+      done_ = true;
+      return Action::spin_wait(*ev_);
+    }
+    double cache_sensitivity() const override { return 0.0; }
+    std::string name() const override { return "one-spin"; }
+
+   private:
+    virt::SyncEvent* ev_;
+    bool done_ = false;
+  };
+  OneSpinWorkload w(ev);
+  vm.vcpus()[0]->set_workload(&w);
+
+  sync::PeriodMonitor monitor(*rig.platform);
+  std::vector<sim::SimTime> period_spin;
+  monitor.subscribe(
+      [&](std::uint64_t) { period_spin.push_back(monitor.last(vm.id()).spin_wall); });
+  monitor.start();
+  rig.start(std::make_unique<sched::CreditScheduler>());
+
+  // Episode spans two 30 ms sampling boundaries and ends mid-period.
+  rig.simulation.call_at(75_ms, [&] { ev.signal(); });
+  rig.simulation.run_until(85_ms);
+
+  ASSERT_EQ(period_spin.size(), 2u);
+  EXPECT_EQ(period_spin[0], 30_ms);
+  EXPECT_EQ(period_spin[1], 30_ms);
+  // Only the post-boundary remainder lands in the final (open) period.
+  EXPECT_EQ(vm.period().spin_wall, 15_ms);
+  // Conservation: per-period attributions sum to the lifetime total, which
+  // equals the episode's actual wall time.
+  EXPECT_EQ(vm.totals().spin_wall, 75_ms);
+  EXPECT_EQ(period_spin[0] + period_spin[1] + vm.period().spin_wall,
+            vm.totals().spin_wall);
+  EXPECT_EQ(vm.totals().spin_episodes, 1u);
+}
+
 TEST(MonitorTest, SubscribersInvokedEveryPeriod) {
   SchedRig rig(1);
   rig.cpu_vm(5_ms);
