@@ -31,14 +31,18 @@ SimTime compute_time_slice(const AtcConfig& cfg, const PeriodSample& p3,
 
   // Lines 12-20: no synchronization observed for three periods — the VM is
   // in a compute phase (or not parallel after all); relax toward DEFAULT to
-  // shed context-switch overhead.
+  // shed context-switch overhead.  Mirror of the shorten branch: a full
+  // alpha step when it fits under DEFAULT, else a fine beta step, else snap
+  // to DEFAULT.  (The guards must be tried in this order: testing
+  // `> default - alpha` first makes the beta branch unreachable, since its
+  // negation is exactly `+ alpha <= default`.)
   if (p3.spin_latency == 0 && p2.spin_latency == 0 && p1.spin_latency == 0) {
-    if (p1.time_slice > cfg.default_slice - cfg.alpha) {
-      ts = cfg.default_slice;
-    } else if (p1.time_slice + cfg.alpha <= cfg.default_slice) {
+    if (p1.time_slice + cfg.alpha <= cfg.default_slice) {
       ts = p1.time_slice + cfg.alpha;
-    } else {
+    } else if (p1.time_slice + cfg.beta <= cfg.default_slice) {
       ts = p1.time_slice + cfg.beta;
+    } else {
+      ts = cfg.default_slice;
     }
   }
 

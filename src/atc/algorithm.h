@@ -40,7 +40,8 @@ class PeriodHistory {
 /// Shorten (by alpha, falling back to beta near the threshold) when the
 /// latency is rising, or when it has been falling for three periods *because*
 /// the slice was shortened (reinforce the trend).  When the VM has not
-/// spun at all for three periods, relax the slice back toward DEFAULT.
+/// spun at all for three periods, relax the slice back toward DEFAULT
+/// (symmetrically: by alpha, falling back to beta just under DEFAULT).
 /// The published pseudo-code has two evident typos which we fix (the beta
 /// branch must test `- beta >= minThreshold`, and the growth branch caps at
 /// DEFAULT); see DESIGN.md "Algorithm 1 reconstruction".

@@ -85,10 +85,39 @@ TEST(Algorithm1Test, ZeroLatencyThreePeriodsGrowsTowardDefault) {
   EXPECT_EQ(ts, 11_ms);
 }
 
-TEST(Algorithm1Test, ZeroLatencySnapsToDefaultNearDefault) {
+TEST(Algorithm1Test, ZeroLatencyBetaStepNearDefault) {
+  // 29.5ms + alpha (1ms) would overshoot DEFAULT; the fine beta step
+  // (100us) still fits.  Regression: a mis-ordered guard used to snap any
+  // slice above DEFAULT - alpha straight to DEFAULT, making the beta step
+  // unreachable.
   const SimTime ts = compute_time_slice(cfg(), S(0, 29'500_us),
                                         S(0, 29'500_us), S(0, 29'500_us));
-  EXPECT_EQ(ts, 30_ms);
+  EXPECT_EQ(ts, 29'600_us);
+}
+
+// All three relax outcomes of Algorithm 1 lines 12-20, table-driven:
+// alpha step when it fits under DEFAULT, else beta step, else snap to
+// DEFAULT.
+TEST(Algorithm1Test, RelaxStepTable) {
+  struct Case {
+    const char* name;
+    SimTime slice;     // p1..p3 time slice (zero latency throughout)
+    SimTime expected;
+  };
+  const Case cases[] = {
+      {"alpha step, far below default", 10_ms, 11_ms},
+      {"alpha step, exactly fits", 29_ms, 30_ms},
+      {"beta step, alpha overshoots", 29'100_us, 29'200_us},
+      {"beta step, exactly fits", 29'900_us, 30_ms},
+      {"snap, even beta overshoots", 29'950_us, 30_ms},
+      {"already at default", 30_ms, 30_ms},
+  };
+  for (const Case& c : cases) {
+    SCOPED_TRACE(c.name);
+    const SimTime ts =
+        compute_time_slice(cfg(), S(0, c.slice), S(0, c.slice), S(0, c.slice));
+    EXPECT_EQ(ts, c.expected);
+  }
 }
 
 TEST(Algorithm1Test, ZeroLatencyNeverExceedsDefault) {
