@@ -31,13 +31,24 @@ obs::TraceEvent net_event(SimTime now, std::uint8_t type, std::int32_t node,
 // ---------------------------------------------------------------- Dom0Backend
 
 Dom0Backend::Dom0Backend(VirtualNetwork& net, virt::Node& node)
-    : net_(&net), node_(&node) {}
+    : net_(&net), node_(&node), idle_wait_(net.engine()) {}
+
+void Dom0Backend::grow_ring() {
+  std::vector<Job> bigger(jobs_.empty() ? 16 : jobs_.size() * 2);
+  for (std::size_t i = 0; i < job_count_; ++i) {
+    bigger[i] = std::move(jobs_[(head_ + i) % jobs_.size()]);
+  }
+  jobs_ = std::move(bigger);
+  head_ = 0;
+}
 
 void Dom0Backend::enqueue(Job job) {
-  jobs_.push_back(std::move(job));
+  if (job_count_ == jobs_.size()) grow_ring();
+  jobs_[(head_ + job_count_) % jobs_.size()] = std::move(job);
+  ++job_count_;
   // Ring the event channel: wake dom0 if it is idle-blocked.
-  if (idle_wait_ != nullptr && !idle_wait_->signalled()) {
-    idle_wait_->signal();
+  if (idle_armed_ && !idle_wait_.signalled()) {
+    idle_wait_.signal();
   }
 }
 
@@ -48,15 +59,20 @@ virt::Action Dom0Backend::next(virt::Vcpu& /*self*/) {
     pending_effect_ = nullptr;
     effect();
   }
-  if (!jobs_.empty()) {
-    Job job = std::move(jobs_.front());
-    jobs_.pop_front();
+  if (job_count_ > 0) {
+    Job job = std::move(jobs_[head_]);
+    head_ = (head_ + 1) % jobs_.size();
+    --job_count_;
     pending_effect_ = std::move(job.effect);
     return virt::Action::compute(job.cpu_cost);
   }
-  // Idle: halt until the next event-channel notification.
-  idle_wait_ = std::make_unique<virt::SyncEvent>(net_->engine());
-  return virt::Action::block_wait(*idle_wait_);
+  // Idle: halt until the next event-channel notification.  The event is
+  // reused across idle transitions; `idle_armed_` keeps enqueue() from
+  // signalling (and tracing) before dom0 has ever gone idle, matching the
+  // old allocate-on-idle behaviour.
+  idle_wait_.reset();
+  idle_armed_ = true;
+  return virt::Action::block_wait(idle_wait_);
 }
 
 // ------------------------------------------------------------ VirtualNetwork

@@ -13,7 +13,6 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <memory>
 #include <string>
@@ -48,14 +47,23 @@ class Dom0Backend : public virt::Workload {
   double cache_sensitivity() const override { return 0.3; }
   std::string name() const override { return "dom0-backend"; }
 
-  std::size_t backlog() const { return jobs_.size(); }
+  std::size_t backlog() const { return job_count_; }
 
  private:
+  void grow_ring();
+
   VirtualNetwork* net_;
   virt::Node* node_;
-  std::deque<Job> jobs_;
+  /// FIFO job ring (head_ + job_count_ entries, wrapping): a deque's chunk
+  /// churn would allocate in steady state, a ring only grows.
+  std::vector<Job> jobs_;
+  std::size_t head_ = 0;
+  std::size_t job_count_ = 0;
   std::function<void()> pending_effect_;
-  std::unique_ptr<virt::SyncEvent> idle_wait_;
+  /// Reused across idle transitions (SyncEvent::reset); allocating a fresh
+  /// event per idle would break the zero-allocation steady state.
+  virt::SyncEvent idle_wait_;
+  bool idle_armed_ = false;  ///< true once idle_wait_ has ever been armed
 };
 
 /// Platform-wide fabric + per-node backends.
@@ -89,6 +97,12 @@ class VirtualNetwork {
   /// blkback disk request from `vm`'s node-local disk.
   void submit_disk(virt::Vm& vm, std::uint64_t bytes,
                    std::function<void()> on_complete);
+
+  /// Node `n`'s dom0 backend; valid after attach().  Tests drive it
+  /// directly to exercise the idle/wake path.
+  Dom0Backend& backend(int n) {
+    return *nodes_[static_cast<std::size_t>(n)].backend;
+  }
 
   virt::Engine& engine() { return platform_->engine(); }
   const virt::ModelParams& params() const { return platform_->params(); }

@@ -280,11 +280,11 @@ void CreditScheduler::refill_credits() {
   if (weight_sum <= 0.0) return;
   double distributed = 0.0;  // actually credited (post-clamp), for tracing
   for (const auto& vm : node_->vms()) {
-    std::vector<Vcpu*> live;
+    int live = 0;
     for (const auto& v : vm->vcpus()) {
-      if (v->state() != VcpuState::kDone) live.push_back(v.get());
+      if (v->state() != VcpuState::kDone) ++live;
     }
-    if (live.empty()) continue;
+    if (live == 0) continue;
     double share = pool * static_cast<double>(vm->weight()) / weight_sum;
     if (vm->cap_percent() > 0) {
       // Cap = percent of one PCPU per accounting period.
@@ -292,8 +292,9 @@ void CreditScheduler::refill_credits() {
                                   static_cast<double>(vm->cap_percent()) /
                                   100.0);
     }
-    const double per_vcpu = share / static_cast<double>(live.size());
-    for (Vcpu* v : live) {
+    const double per_vcpu = share / static_cast<double>(live);
+    for (const auto& v : vm->vcpus()) {
+      if (v->state() == VcpuState::kDone) continue;
       const double before = v->sched().credits;
       v->sched().credits =
           std::clamp(v->sched().credits + per_vcpu, -mp.credit_clip,

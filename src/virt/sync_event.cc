@@ -12,23 +12,28 @@ namespace atcsim::virt {
 void SyncEvent::signal() {
   if (signalled_) return;
   signalled_ = true;
-  std::vector<Vcpu*> waiters = std::move(waiters_);
-  waiters_.clear();
+  // Swap the waiter list into a retained scratch buffer instead of moving
+  // it out: both vectors keep their capacity, so a reset()/wait/signal
+  // cycle (dom0's idle wait) never reallocates.  Waiters registered
+  // re-entrantly during on_signalled land in the (empty) waiters_ vector,
+  // not in the list being consumed.
+  scratch_.swap(waiters_);
 #if ATCSIM_TRACE_ENABLED
   if (obs::TraceSink* sink = engine_.simulation().trace()) {
     obs::TraceEvent e;
     e.time = engine_.simulation().now();
     e.cat = obs::TraceCat::kSync;
     e.type = obs::ev::kSignal;
-    if (!waiters.empty()) {
-      e.vm = waiters.front()->vm().id().value;
-      e.vcpu = waiters.front()->id().value;
+    if (!scratch_.empty()) {
+      e.vm = scratch_.front()->vm().id().value;
+      e.vcpu = scratch_.front()->id().value;
     }
-    e.a0 = static_cast<std::int64_t>(waiters.size());
+    e.a0 = static_cast<std::int64_t>(scratch_.size());
     sink->emit(e);
   }
 #endif
-  engine_.on_signalled(waiters);
+  engine_.on_signalled(scratch_);
+  scratch_.clear();
 }
 
 void SyncEvent::remove_waiter(const Vcpu& v) {

@@ -3,10 +3,13 @@
 // Guests wait on a SyncEvent either spinning (kSpinWait: the VCPU stays
 // runnable and burns CPU — the user-space MPI busy-poll model) or blocked
 // (kBlockWait: the VCPU halts and is woken with BOOST — the kernel/IRQ
-// model).  A SyncEvent is signalled at most once; reusable constructs
-// (barriers) allocate one per generation.
+// model).  A SyncEvent is signalled at most once between resets; one-shot
+// constructs (barriers) allocate one per generation, while steady-state
+// consumers (dom0's idle wait) reset() and reuse a single event to honour
+// the zero-allocation contract.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -31,6 +34,15 @@ class SyncEvent {
 
   bool signalled() const { return signalled_; }
 
+  /// Re-arms a consumed event for the next wait/signal cycle.  Only legal
+  /// with no waiters registered (i.e. after every woken waiter has
+  /// proceeded); together with the capacity-preserving signal() this makes
+  /// a reset/wait/signal steady state allocation-free.
+  void reset() {
+    assert(waiters_.empty() && "reset() with waiters still registered");
+    signalled_ = false;
+  }
+
   /// Engine bookkeeping: registers a waiter (any wait style).
   void add_waiter(Vcpu& v) { waiters_.push_back(&v); }
   void remove_waiter(const Vcpu& v);
@@ -39,6 +51,7 @@ class SyncEvent {
   Engine& engine_;
   bool signalled_ = false;
   std::vector<Vcpu*> waiters_;
+  std::vector<Vcpu*> scratch_;  ///< signal()'s wake list; kept for capacity
 };
 
 }  // namespace atcsim::virt

@@ -13,8 +13,12 @@
 #include <new>
 #include <vector>
 
+#include "net/network.h"
+#include "sched/credit.h"
 #include "simcore/event_queue.h"
 #include "simcore/simulation.h"
+#include "virt/engine.h"
+#include "virt/platform.h"
 
 namespace {
 std::atomic<std::uint64_t> g_allocs{0};
@@ -129,6 +133,41 @@ TEST(AllocGuardTest, SimulationLoopSteadyStateIsAllocationFree) {
   EXPECT_EQ(allocs() - before, 0u)
       << "Simulation run loop allocated after warm-up";
   EXPECT_GT(ctx.fired, 0u);
+}
+
+// dom0's netback service loop: enqueue -> wake (BOOST) -> compute -> apply
+// effect -> idle-block, repeated.  After warm-up (job ring at capacity,
+// idle event's waiter buffers sized) the whole cycle — including the idle
+// transition, which used to heap-allocate a fresh SyncEvent every time —
+// must be allocation-free.
+TEST(AllocGuardTest, Dom0IdleWakeSteadyStateIsAllocationFree) {
+  Simulation s;
+  atcsim::virt::PlatformConfig pc;
+  pc.nodes = 1;
+  pc.pcpus_per_node = 1;
+  pc.dom0_vcpus = 1;
+  atcsim::virt::Platform platform(s, pc);
+  atcsim::net::VirtualNetwork net(platform);
+  net.attach();
+  platform.set_scheduler(atcsim::virt::NodeId{0},
+                         std::make_unique<atcsim::sched::CreditScheduler>());
+  platform.engine().start();
+
+  std::uint64_t done = 0;
+  auto churn = [&](int jobs) {
+    for (int i = 0; i < jobs; ++i) {
+      // One job, then let dom0 drain it and go idle again before the next
+      // wake: every iteration crosses a full idle/wake transition.
+      net.backend(0).enqueue({/*cpu_cost=*/10'000, [&done] { ++done; }});
+      s.run_until(s.now() + 1'000'000);
+    }
+  };
+  churn(64);
+  const std::uint64_t before = allocs();
+  churn(256);
+  EXPECT_EQ(allocs() - before, 0u)
+      << "dom0 idle/wake loop allocated after warm-up";
+  EXPECT_EQ(done, 64u + 256u);
 }
 
 }  // namespace
