@@ -13,81 +13,25 @@
 // global operator-new hook.  The schedule/pop and macro-throughput loops must
 // stay at 0.0 allocs/event — that is the zero-allocation contract of
 // EventQueue; CI runs this binary as a smoke test (numbers informational).
-#include <atomic>
-#include <chrono>
-#include <cstdint>
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
-#include <ctime>
-#include <fstream>
-#include <new>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "cluster/scenario.h"
 #include "cluster/scenarios.h"
+#include "report_common.h"
 #include "simcore/event_queue.h"
 #include "simcore/rng.h"
 #include "simcore/simulation.h"
 
-// ------------------------------------------------------------ alloc counter
-
-namespace {
-std::atomic<std::uint64_t> g_allocs{0};
-}  // namespace
-
-void* operator new(std::size_t n) {
-  g_allocs.fetch_add(1, std::memory_order_relaxed);
-  if (void* p = std::malloc(n ? n : 1)) return p;
-  throw std::bad_alloc();
-}
-void* operator new[](std::size_t n) { return ::operator new(n); }
-void operator delete(void* p) noexcept { std::free(p); }
-void operator delete[](void* p) noexcept { std::free(p); }
-void operator delete(void* p, std::size_t) noexcept { std::free(p); }
-void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
-
 namespace {
 
 using namespace atcsim;
+namespace rb = atcsim::bench;
+using rb::Result;
 using sim::SimTime;
 using namespace sim::time_literals;
-
-using Clock = std::chrono::steady_clock;
-
-struct Result {
-  std::uint64_t events = 0;      // work items per repetition
-  double wall_s = 0;             // best-of-N wall seconds
-  double per_sec = 0;            // events / wall_s
-  double allocs_per_event = 0;   // heap allocations per event, best rep
-};
-
-/// Runs `body` (which returns the number of work items processed) `reps`
-/// times after one untimed warmup, keeping the fastest repetition.
-template <typename Body>
-Result bench(int reps, Body&& body) {
-  (void)body();  // warmup: populate slabs, fault in pages
-  Result r;
-  r.wall_s = 1e100;
-  for (int i = 0; i < reps; ++i) {
-    const std::uint64_t a0 = g_allocs.load(std::memory_order_relaxed);
-    const auto t0 = Clock::now();
-    const std::uint64_t n = body();
-    const double s = std::chrono::duration<double>(Clock::now() - t0).count();
-    const std::uint64_t allocs =
-        g_allocs.load(std::memory_order_relaxed) - a0;
-    if (s < r.wall_s) {
-      r.wall_s = s;
-      r.events = n;
-      r.allocs_per_event =
-          n == 0 ? 0 : static_cast<double>(allocs) / static_cast<double>(n);
-    }
-  }
-  r.per_sec = r.wall_s > 0 ? static_cast<double>(r.events) / r.wall_s : 0;
-  return r;
-}
 
 // ---------------------------------------------------------------- micro ---
 
@@ -97,7 +41,7 @@ Result bench(int reps, Body&& body) {
 Result micro_schedule_pop() {
   sim::EventQueue q;
   std::uint64_t sink = 0;
-  return bench(5, [&]() -> std::uint64_t {
+  return rb::bench(5, [&]() -> std::uint64_t {
     constexpr std::uint64_t kBatches = 20'000;
     SimTime t = 0;
     for (std::uint64_t b = 0; b < kBatches; ++b) {
@@ -117,7 +61,7 @@ Result micro_cancel_steady() {
   sim::EventQueue q;
   std::vector<sim::EventId> ids;
   ids.reserve(64);
-  return bench(5, [&]() -> std::uint64_t {
+  return rb::bench(5, [&]() -> std::uint64_t {
     constexpr std::uint64_t kBatches = 20'000;
     for (std::uint64_t b = 0; b < kBatches; ++b) {
       ids.clear();
@@ -138,7 +82,7 @@ Result micro_cancel_steady() {
 /// churn pattern of virt::Engine (dispatch arms a slice expiry; most slices
 /// are cancelled early when the compute segment finishes first).
 Result macro_event_throughput() {
-  return bench(3, []() -> std::uint64_t {
+  return rb::bench(3, []() -> std::uint64_t {
     constexpr int kActors = 512;
     constexpr std::uint64_t kTarget = 1'500'000;
     struct Actor {
@@ -184,7 +128,7 @@ Result macro_event_throughput() {
 /// scale): measures simulator events per wall second with the full
 /// engine/scheduler/network model in the loop.
 Result macro_lu32(cluster::Approach approach) {
-  return bench(3, [approach]() -> std::uint64_t {
+  return rb::bench(3, [approach]() -> std::uint64_t {
     cluster::Scenario::Setup setup;
     setup.nodes = 32;
     setup.pcpus_per_node = 8;
@@ -203,7 +147,7 @@ Result macro_lu32(cluster::Approach approach) {
 /// Cancel-heavy profile: sub-ms slices multiply slice-timer arm/cancel
 /// churn per unit of guest progress.
 Result macro_cancel_heavy() {
-  return bench(3, []() -> std::uint64_t {
+  return rb::bench(3, []() -> std::uint64_t {
     cluster::Scenario::Setup setup;
     setup.nodes = 4;
     setup.pcpus_per_node = 8;
@@ -224,7 +168,7 @@ Result macro_cancel_heavy() {
 /// shape) under ATC make descheduled spinners, SyncEvent signalling and
 /// adaptive slice-timer churn dominate.
 Result macro_sync_heavy() {
-  return bench(3, []() -> std::uint64_t {
+  return rb::bench(3, []() -> std::uint64_t {
     cluster::Scenario::Setup setup;
     setup.nodes = 2;
     setup.pcpus_per_node = 8;
@@ -239,36 +183,6 @@ Result macro_sync_heavy() {
     return s.simulation().events_executed();
   });
 }
-
-// ----------------------------------------------------------------- JSON ---
-
-std::string json_number(double v) {
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.6g", v);
-  return buf;
-}
-
-void emit_result(std::ostringstream& os, const char* name, const Result& r,
-                 bool last = false) {
-  os << "      \"" << name << "\": {\"per_sec\": " << json_number(r.per_sec)
-     << ", \"events\": " << r.events
-     << ", \"wall_s\": " << json_number(r.wall_s)
-     << ", \"allocs_per_event\": " << json_number(r.allocs_per_event) << "}"
-     << (last ? "\n" : ",\n");
-}
-
-std::string iso_now() {
-  char buf[32];
-  const std::time_t t = std::time(nullptr);
-  std::tm tm{};
-  gmtime_r(&t, &tm);
-  std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &tm);
-  return buf;
-}
-
-#ifndef ATCSIM_BUILD_TYPE
-#define ATCSIM_BUILD_TYPE "unknown"
-#endif
 
 }  // namespace
 
@@ -312,15 +226,15 @@ int main(int argc, char** argv) {
   std::ostringstream run;
   run << "    {\n"
       << "      \"label\": \"" << label << "\",\n"
-      << "      \"date\": \"" << iso_now() << "\",\n"
+      << "      \"date\": \"" << rb::iso_now() << "\",\n"
       << "      \"build_type\": \"" << ATCSIM_BUILD_TYPE << "\",\n";
-  emit_result(run, "micro_schedule_pop", sp);
-  emit_result(run, "micro_cancel_steady", cs);
-  emit_result(run, "macro_event_throughput", et, quick);
+  rb::emit_result(run, "micro_schedule_pop", sp);
+  rb::emit_result(run, "micro_cancel_steady", cs);
+  rb::emit_result(run, "macro_event_throughput", et, quick);
   if (!quick) {
-    emit_result(run, "macro_lu32_atc", lu);
-    emit_result(run, "macro_cancel_heavy", ch);
-    emit_result(run, "macro_sync_heavy", sy, true);
+    rb::emit_result(run, "macro_lu32_atc", lu);
+    rb::emit_result(run, "macro_cancel_heavy", ch);
+    rb::emit_result(run, "macro_sync_heavy", sy, true);
   }
   run << "    }";
 
@@ -329,29 +243,7 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  // Append into the history array of an existing report (or create one).
-  // The file is always written by this tool, so the closing "  ]\n}" marker
-  // is structural; when it is missing the file is rewritten from scratch.
-  std::string existing;
-  {
-    std::ifstream in(append_path);
-    if (in) {
-      std::ostringstream ss;
-      ss << in.rdbuf();
-      existing = ss.str();
-    }
-  }
-  const std::string tail = "\n  ]\n}\n";
-  std::string out;
-  const std::size_t at = existing.rfind(tail);
-  if (!existing.empty() && at != std::string::npos) {
-    out = existing.substr(0, at) + ",\n" + run.str() + tail;
-  } else {
-    out = std::string("{\n  \"schema\": 1,\n  \"suite\": \"simcore\",\n") +
-          "  \"history\": [\n" + run.str() + tail;
-  }
-  std::ofstream of(append_path, std::ios::trunc);
-  of << out;
+  rb::append_history(append_path, run.str(), "simcore");
   std::fprintf(stderr, "perf_report: wrote %s\n", append_path.c_str());
   return 0;
 }

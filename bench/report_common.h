@@ -1,0 +1,129 @@
+// Shared scaffolding for the tracked perf-report binaries (perf_report,
+// sched_report): a global operator-new allocation counter, the best-of-N
+// bench harness, and the JSON run-record / history-append emitters.
+//
+// This header DEFINES the replacement global operator new/delete (they may
+// not be inline, per [replacement.functions]), so it must be included from
+// exactly one translation unit per binary.  Every report is a single-TU
+// executable, which is what makes this layout workable.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <fstream>
+#include <new>
+#include <sstream>
+#include <string>
+
+namespace atcsim::bench {
+inline std::atomic<std::uint64_t> g_allocs{0};
+}  // namespace atcsim::bench
+
+void* operator new(std::size_t n) {
+  atcsim::bench::g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n) { return ::operator new(n); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace atcsim::bench {
+
+using Clock = std::chrono::steady_clock;
+
+struct Result {
+  std::uint64_t events = 0;      // work items per repetition
+  double wall_s = 0;             // best-of-N wall seconds
+  double per_sec = 0;            // events / wall_s
+  double allocs_per_event = 0;   // heap allocations per event, best rep
+};
+
+/// Runs `body` (which returns the number of work items processed) `reps`
+/// times after one untimed warmup, keeping the fastest repetition.
+template <typename Body>
+Result bench(int reps, Body&& body) {
+  (void)body();  // warmup: populate slabs, fault in pages
+  Result r;
+  r.wall_s = 1e100;
+  for (int i = 0; i < reps; ++i) {
+    const std::uint64_t a0 = g_allocs.load(std::memory_order_relaxed);
+    const auto t0 = Clock::now();
+    const std::uint64_t n = body();
+    const double s = std::chrono::duration<double>(Clock::now() - t0).count();
+    const std::uint64_t allocs =
+        g_allocs.load(std::memory_order_relaxed) - a0;
+    if (s < r.wall_s) {
+      r.wall_s = s;
+      r.events = n;
+      r.allocs_per_event =
+          n == 0 ? 0 : static_cast<double>(allocs) / static_cast<double>(n);
+    }
+  }
+  r.per_sec = r.wall_s > 0 ? static_cast<double>(r.events) / r.wall_s : 0;
+  return r;
+}
+
+inline std::string json_number(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+inline void emit_result(std::ostringstream& os, const char* name,
+                        const Result& r, bool last = false) {
+  os << "      \"" << name << "\": {\"per_sec\": " << json_number(r.per_sec)
+     << ", \"events\": " << r.events
+     << ", \"wall_s\": " << json_number(r.wall_s)
+     << ", \"allocs_per_event\": " << json_number(r.allocs_per_event) << "}"
+     << (last ? "\n" : ",\n");
+}
+
+inline std::string iso_now() {
+  char buf[32];
+  const std::time_t t = std::time(nullptr);
+  std::tm tm{};
+  gmtime_r(&t, &tm);
+  std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &tm);
+  return buf;
+}
+
+/// Appends `record` into the history array of `path` (creating the file
+/// with the given `suite` name when missing).  The file is always written
+/// by these tools, so the closing "  ]\n}" marker is structural; when it is
+/// missing the file is rewritten from scratch.
+inline void append_history(const std::string& path, const std::string& record,
+                           const char* suite) {
+  std::string existing;
+  {
+    std::ifstream in(path);
+    if (in) {
+      std::ostringstream ss;
+      ss << in.rdbuf();
+      existing = ss.str();
+    }
+  }
+  const std::string tail = "\n  ]\n}\n";
+  std::string out;
+  const std::size_t at = existing.rfind(tail);
+  if (!existing.empty() && at != std::string::npos) {
+    out = existing.substr(0, at) + ",\n" + record + tail;
+  } else {
+    out = std::string("{\n  \"schema\": 1,\n  \"suite\": \"") + suite +
+          "\",\n  \"history\": [\n" + record + tail;
+  }
+  std::ofstream of(path, std::ios::trunc);
+  of << out;
+}
+
+}  // namespace atcsim::bench
+
+#ifndef ATCSIM_BUILD_TYPE
+#define ATCSIM_BUILD_TYPE "unknown"
+#endif

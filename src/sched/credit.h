@@ -39,7 +39,7 @@ class CreditScheduler : public virt::Scheduler {
     Placement placement = Placement::kAffinity;
     /// Steal work from sibling queues when a PCPU would otherwise idle.
     bool work_stealing = true;
-    /// Credit-ordered intra-class queueing dead band (DESIGN.md §3.8): an
+    /// Credit-ordered intra-class queueing dead band (DESIGN.md §8): an
     /// enqueued VCPU is filed ahead of a same-class VCPU only when its
     /// balance exceeds the other's by more than this many credits;
     /// near-equal balances keep FIFO order.  30.0 ~ one slice's debit at
