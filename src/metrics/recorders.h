@@ -1,8 +1,15 @@
 // Experiment measurement: named recorders for durations, latencies and
 // throughput counters, with warmup support (reset after convergence).
+//
+// Recorders are fixed-footprint: samples land in a log-linear histogram (and
+// an OnlineStats for the exact moments), never in an unbounded vector, so a
+// week-long simulated run records in O(1) memory and record() never touches
+// the allocator — part of the steady-state zero-allocation contract
+// (DESIGN.md §9).
 #pragma once
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -14,66 +21,143 @@
 
 namespace atcsim::metrics {
 
+/// Fixed-footprint log-linear histogram over positive seconds (HDR-style):
+/// each power-of-two octave is split into kSubBuckets linear buckets, so the
+/// relative bucket width is 1/kSubBuckets / (2*mantissa) — at 64 sub-buckets
+/// a quantile's representative (bucket midpoint) is within ±0.79% of the
+/// true sample value (see EXPERIMENTS.md "Percentile quantization").
+/// The bucket array is allocated once at construction (~32 KiB) and covers
+/// 2^-40 s (~1 ps) to 2^24 s (~194 days); out-of-range samples land in
+/// underflow/overflow buckets so totals stay exact.
+class LogHistogram {
+ public:
+  static constexpr int kSubBuckets = 64;  ///< per octave
+  static constexpr int kMinExp = -40;     ///< smallest octave: [2^-41, 2^-40)
+  static constexpr int kMaxExp = 24;      ///< values >= 2^24 s overflow
+  static constexpr std::size_t kBuckets =
+      static_cast<std::size_t>(kMaxExp - kMinExp) * kSubBuckets + 2;
+
+  LogHistogram() : counts_(kBuckets, 0) {}
+
+  void add(double v) {
+    ++counts_[index_of(v)];
+    ++total_;
+  }
+  void reset() {
+    std::fill(counts_.begin(), counts_.end(), 0);
+    total_ = 0;
+  }
+  std::uint64_t total() const { return total_; }
+
+  /// Nearest-rank quantile, q in [0, 1]; returns the midpoint of the bucket
+  /// holding rank round(q * (total - 1)).  0 when empty.
+  double quantile(double q) const {
+    if (total_ == 0) return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    const auto rank = static_cast<std::uint64_t>(
+        q * static_cast<double>(total_ - 1) + 0.5);
+    std::uint64_t cum = 0;
+    std::size_t i = 0;
+    for (;; ++i) {
+      cum += counts_[i];
+      if (cum > rank) break;
+    }
+    return midpoint(i);
+  }
+
+ private:
+  static std::size_t index_of(double v) {
+    if (!(v > 0.0)) return 0;  // zero / negative / NaN -> underflow
+    int exp = 0;
+    const double m = std::frexp(v, &exp);  // v = m * 2^exp, m in [0.5, 1)
+    if (exp <= kMinExp) return 0;
+    if (exp > kMaxExp) return kBuckets - 1;
+    const int sub = std::min(
+        static_cast<int>((m - 0.5) * (2 * kSubBuckets)), kSubBuckets - 1);
+    return 1 +
+           static_cast<std::size_t>(exp - 1 - kMinExp) * kSubBuckets +
+           static_cast<std::size_t>(sub);
+  }
+
+  static double midpoint(std::size_t i) {
+    if (i == 0) return 0.0;  // underflow has no meaningful representative
+    if (i == kBuckets - 1) return std::ldexp(1.0, kMaxExp);
+    const std::size_t k = i - 1;
+    const int exp = kMinExp + 1 + static_cast<int>(k / kSubBuckets);
+    const double m =
+        0.5 + (static_cast<double>(k % kSubBuckets) + 0.5) /
+                  (2.0 * kSubBuckets);
+    return std::ldexp(m, exp);
+  }
+
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
 /// Durations of repeated units of work (supersteps / iterations of a
 /// parallel application).  Mean duration is the "execution time" that the
-/// paper's normalized numbers are built from.
+/// paper's normalized numbers are built from; count/mean/min/max are exact
+/// (OnlineStats), quantiles are histogram-quantized.
 class DurationRecorder {
  public:
   void record(sim::SimTime d) {
-    stats_.add(sim::to_seconds(d));
-    samples_.push_back(sim::to_seconds(d));
+    const double s = sim::to_seconds(d);
+    stats_.add(s);
+    hist_.add(s);
   }
   void reset() {
     stats_.reset();
-    samples_.clear();
+    hist_.reset();
   }
   const sim::OnlineStats& stats() const { return stats_; }
-  const std::vector<double>& samples() const { return samples_; }
+  const LogHistogram& histogram() const { return hist_; }
   double mean_seconds() const { return stats_.mean(); }
   std::uint64_t count() const { return stats_.count(); }
 
  private:
   sim::OnlineStats stats_;
-  std::vector<double> samples_;
+  LogHistogram hist_;
 };
 
-/// Request/response latencies (ping RTT, web response time).  Keeps raw
-/// samples so tail percentiles are exact, not bucketed.
+/// Request/response latencies (ping RTT, web response time).  Tail
+/// percentiles come from the log-linear histogram (±0.79% quantization);
+/// the extreme ranks (q at the first/last sample) and count/mean/min/max
+/// are exact.
 class LatencyRecorder {
  public:
   void record(sim::SimTime latency) {
-    stats_.add(sim::to_seconds(latency));
-    samples_.push_back(sim::to_seconds(latency));
-    sorted_ = false;
+    const double s = sim::to_seconds(latency);
+    stats_.add(s);
+    hist_.add(s);
   }
   void reset() {
     stats_.reset();
-    samples_.clear();
-    sorted_ = false;
+    hist_.reset();
   }
   const sim::OnlineStats& stats() const { return stats_; }
+  const LogHistogram& histogram() const { return hist_; }
   double mean_seconds() const { return stats_.mean(); }
   std::uint64_t count() const { return stats_.count(); }
 
-  /// Exact quantile (nearest-rank), q in [0, 1]; 0 when empty.
+  /// Nearest-rank quantile, q in [0, 1]; 0 when empty.  Ranks that resolve
+  /// to the first/last sample return the exact min/max; interior ranks are
+  /// bucket midpoints.
   double quantile_seconds(double q) const {
-    if (samples_.empty()) return 0.0;
-    if (!sorted_) {
-      std::sort(samples_.begin(), samples_.end());
-      sorted_ = true;
-    }
+    const std::uint64_t n = stats_.count();
+    if (n == 0) return 0.0;
     q = std::clamp(q, 0.0, 1.0);
-    const auto idx = static_cast<std::size_t>(
-        q * static_cast<double>(samples_.size() - 1) + 0.5);
-    return samples_[idx];
+    const auto rank = static_cast<std::uint64_t>(
+        q * static_cast<double>(n - 1) + 0.5);
+    if (rank == 0) return stats_.min();
+    if (rank == n - 1) return stats_.max();
+    return hist_.quantile(q);
   }
   double p95_seconds() const { return quantile_seconds(0.95); }
   double p99_seconds() const { return quantile_seconds(0.99); }
 
  private:
   sim::OnlineStats stats_;
-  mutable std::vector<double> samples_;
-  mutable bool sorted_ = false;
+  LogHistogram hist_;
 };
 
 /// Monotone work counter (compute chunks, bytes) turned into a rate against

@@ -1,5 +1,6 @@
 #include "net/network.h"
 
+#include <algorithm>
 #include <cassert>
 
 #include "obs/trace.h"
@@ -30,21 +31,40 @@ obs::TraceEvent net_event(SimTime now, std::uint8_t type, std::int32_t node,
 
 // ---------------------------------------------------------------- Dom0Backend
 
+namespace {
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+}  // namespace
+
 Dom0Backend::Dom0Backend(VirtualNetwork& net, virt::Node& node)
-    : net_(&net), node_(&node), idle_wait_(net.engine()) {}
+    : net_(&net),
+      node_(&node),
+      jobs_(round_up_pow2(std::max<std::size_t>(net.params().dom0_ring_slots,
+                                                2))),
+      idle_wait_(net.engine()) {}
 
 void Dom0Backend::grow_ring() {
-  std::vector<Job> bigger(jobs_.empty() ? 16 : jobs_.size() * 2);
+  const std::size_t old_cap = jobs_.size();
+  std::vector<Job> bigger(old_cap * 2);
   for (std::size_t i = 0; i < job_count_; ++i) {
-    bigger[i] = std::move(jobs_[(head_ + i) % jobs_.size()]);
+    bigger[i] = std::move(jobs_[(head_ + i) & (old_cap - 1)]);
   }
   jobs_ = std::move(bigger);
   head_ = 0;
+  ATCSIM_TRACE(net_->simulation().trace(),
+               net_event(net_->simulation().now(), obs::ev::kRingGrow,
+                         node_->id().value, nullptr,
+                         static_cast<std::int64_t>(jobs_.size()),
+                         static_cast<std::int64_t>(old_cap)));
 }
 
 void Dom0Backend::enqueue(Job job) {
   if (job_count_ == jobs_.size()) grow_ring();
-  jobs_[(head_ + job_count_) % jobs_.size()] = std::move(job);
+  // Capacity is always a power of two, so the wrap is a mask, not a divide.
+  jobs_[(head_ + job_count_) & (jobs_.size() - 1)] = std::move(job);
   ++job_count_;
   // Ring the event channel: wake dom0 if it is idle-blocked.
   if (idle_armed_ && !idle_wait_.signalled()) {
@@ -56,13 +76,17 @@ virt::Action Dom0Backend::next(virt::Vcpu& /*self*/) {
   // The previous Compute modelled the CPU cost of a job; apply its effect.
   if (pending_effect_) {
     auto effect = std::move(pending_effect_);
-    pending_effect_ = nullptr;
     effect();
   }
   if (job_count_ > 0) {
     Job job = std::move(jobs_[head_]);
-    head_ = (head_ + 1) % jobs_.size();
+    head_ = (head_ + 1) & (jobs_.size() - 1);
     --job_count_;
+    // Snap a drained ring back to slot 0: head/tail otherwise march through
+    // the whole buffer even at depth 1-2, sweeping cap * sizeof(Job) bytes
+    // of cache per lap (at 512 nodes that is megabytes); a shallow queue
+    // should live in its first few (hot) slots.
+    if (job_count_ == 0) head_ = 0;
     pending_effect_ = std::move(job.effect);
     return virt::Action::compute(job.cpu_cost);
   }
@@ -116,48 +140,147 @@ SimTime VirtualNetwork::serialize(SimTime now, SimTime& busy_until,
   return busy_until;
 }
 
-void VirtualNetwork::transmit(int src_node, int dst_node, std::uint64_t bytes,
-                              std::function<void()> rx_effect_done) {
+// ------------------------------------------------------- descriptor lifecycle
+
+VirtualNetwork::PacketRef VirtualNetwork::acquire(std::uint64_t bytes,
+                                                  virt::Vm* dst,
+                                                  std::int32_t src_node,
+                                                  std::int32_t dst_node,
+                                                  sim::InlineCallback done) {
+  std::uint32_t slot;
+  if (free_head_ != kNilSlot) {
+    slot = free_head_;
+    free_head_ = pool_[slot].next_free;
+  } else {
+    slot = static_cast<std::uint32_t>(pool_.size());
+    pool_.emplace_back();
+  }
+  Packet& p = pool_[slot];
+  p.bytes = bytes;
+  p.dst = dst;
+  p.src_node = src_node;
+  p.dst_node = dst_node;
+  p.done = std::move(done);
+  p.next_free = kNilSlot;
+  ++in_flight_;
+  return PacketRef{slot, p.generation};
+}
+
+VirtualNetwork::Packet& VirtualNetwork::desc(PacketRef r) {
+  assert(r.slot < pool_.size());
+  Packet& p = pool_[r.slot];
+  assert(p.generation == r.generation && "stale PacketRef (slot recycled)");
+  return p;
+}
+
+sim::InlineCallback VirtualNetwork::release(PacketRef r) {
+  Packet& p = desc(r);
+  sim::InlineCallback cb = std::move(p.done);
+  ++p.generation;  // stale handles now trip the desc() assert
+  p.dst = nullptr;
+  p.next_free = free_head_;
+  free_head_ = r.slot;
+  --in_flight_;
+  return cb;
+}
+
+void VirtualNetwork::finish(PacketRef r) {
+  auto cb = release(r);
+  cb();
+}
+
+// ------------------------------------------------------------ per-hop steps
+//
+// Each hop is scheduled by the previous one and captures only {this, r}
+// (16 bytes), so the whole path moves one InlineCallback — the caller's
+// completion, parked in the descriptor — with zero allocation.
+
+void VirtualNetwork::tx_effect(PacketRef r) {
+  Packet& p = desc(r);
+  if (p.src_node == p.dst_node) {
+    // Bridged loopback: still through dom0, but no NIC/wire.
+    enqueue_rx(r);
+    return;
+  }
   const auto& mp = params();
   const SimTime now = simulation().now();
-  const SimTime tx_done =
-      serialize(now, nodes_[static_cast<std::size_t>(src_node)].nic_tx_busy,
-                bytes, mp.nic_bandwidth_bps);
+  const SimTime tx_done = serialize(
+      now, nodes_[static_cast<std::size_t>(p.src_node)].nic_tx_busy, p.bytes,
+      mp.nic_bandwidth_bps);
   const SimTime arrive = tx_done + mp.wire_latency;
   ATCSIM_TRACE(
       simulation().trace(),
       net_event(now, obs::ev::kWire,
-                platform_->nodes()[static_cast<std::size_t>(src_node)]
+                platform_->nodes()[static_cast<std::size_t>(p.src_node)]
                     ->id()
                     .value,
-                nullptr, static_cast<std::int64_t>(bytes), dst_node));
-  simulation().call_at(
-      arrive, [this, dst_node, bytes, done = std::move(rx_effect_done)]() mutable {
-        const auto& p = params();
-        const SimTime rx_done = serialize(
-            simulation().now(),
-            nodes_[static_cast<std::size_t>(dst_node)].nic_rx_busy, bytes,
-            p.nic_bandwidth_bps);
-        simulation().call_at(rx_done, std::move(done));
-      });
+                nullptr, static_cast<std::int64_t>(p.bytes), p.dst_node));
+  simulation().call_at(arrive, [this, r] { rx_arrive(r); });
 }
 
-void VirtualNetwork::enqueue_rx(virt::Vm& dst, std::uint64_t bytes,
-                                std::function<void()> on_delivered) {
-  virt::Vm* dvm = &dst;
+void VirtualNetwork::rx_arrive(PacketRef r) {
+  Packet& p = desc(r);
+  const SimTime rx_done = serialize(
+      simulation().now(),
+      nodes_[static_cast<std::size_t>(p.dst_node)].nic_rx_busy, p.bytes,
+      params().nic_bandwidth_bps);
+  simulation().call_at(rx_done, [this, r] { enqueue_rx(r); });
+}
+
+void VirtualNetwork::enqueue_rx(PacketRef r) {
+  Packet& p = desc(r);
   ATCSIM_TRACE(simulation().trace(),
                net_event(simulation().now(), obs::ev::kGuestRx,
-                         dst.node().id().value, &dst,
-                         static_cast<std::int64_t>(bytes)));
-  backend_of(dst).enqueue(Dom0Backend::Job{
-      packet_cpu_cost(bytes),
-      [this, dvm, cb = std::move(on_delivered)]() mutable {
-        engine().deposit(*dvm, std::move(cb));
-      }});
+                         p.dst->node().id().value, p.dst,
+                         static_cast<std::int64_t>(p.bytes)));
+  backend_of(*p.dst).enqueue(
+      Dom0Backend::Job{packet_cpu_cost(p.bytes), [this, r] { deliver(r); }});
 }
 
+void VirtualNetwork::deliver(PacketRef r) {
+  virt::Vm* dst = desc(r).dst;
+  auto cb = release(r);
+  engine().deposit(*dst, std::move(cb));
+}
+
+void VirtualNetwork::tx_out_effect(PacketRef r) {
+  Packet& p = desc(r);
+  const SimTime tx_done = serialize(
+      simulation().now(),
+      nodes_[static_cast<std::size_t>(p.src_node)].nic_tx_busy, p.bytes,
+      params().nic_bandwidth_bps);
+  simulation().call_at(tx_done + params().wire_latency,
+                       [this, r] { finish(r); });
+}
+
+void VirtualNetwork::disk_issue(PacketRef r) {
+  Packet& p = desc(r);
+  NodeState& state = state_of(*p.dst);
+  const auto& mp = params();
+  const SimTime now = simulation().now();
+  const SimTime start = std::max(now, state.disk_busy);
+  const SimTime done = start + mp.disk_latency +
+                       static_cast<SimTime>(static_cast<double>(p.bytes) /
+                                            mp.disk_bandwidth_bps * 1e9);
+  state.disk_busy = done;
+  simulation().call_at(done, [this, r] { disk_done(r); });
+}
+
+void VirtualNetwork::disk_done(PacketRef r) {
+  Packet& p = desc(r);
+  ATCSIM_TRACE(simulation().trace(),
+               net_event(simulation().now(), obs::ev::kDiskDone,
+                         p.dst->node().id().value, p.dst,
+                         static_cast<std::int64_t>(p.bytes)));
+  virt::Vm* dst = p.dst;
+  auto cb = release(r);
+  engine().deposit(*dst, std::move(cb));
+}
+
+// ------------------------------------------------------------- public entry
+
 void VirtualNetwork::send(virt::Vm& src, virt::Vm& dst, std::uint64_t bytes,
-                          std::function<void()> on_delivered) {
+                          sim::InlineCallback on_delivered) {
   assert(attached_);
   counters_.packets += 1;
   counters_.bytes += bytes;
@@ -167,27 +290,14 @@ void VirtualNetwork::send(virt::Vm& src, virt::Vm& dst, std::uint64_t bytes,
                net_event(simulation().now(), obs::ev::kGuestTx,
                          src.node().id().value, &src,
                          static_cast<std::int64_t>(bytes), dst.id().value));
-  const int src_node = src.node().index();
-  const int dst_node = dst.node().index();
-  virt::Vm* dvm = &dst;
-  backend_of(src).enqueue(Dom0Backend::Job{
-      packet_cpu_cost(bytes),
-      [this, dvm, bytes, src_node, dst_node,
-       cb = std::move(on_delivered)]() mutable {
-        if (src_node == dst_node) {
-          // Bridged loopback: still through dom0, but no NIC/wire.
-          enqueue_rx(*dvm, bytes, std::move(cb));
-          return;
-        }
-        transmit(src_node, dst_node, bytes,
-                 [this, dvm, bytes, cb = std::move(cb)]() mutable {
-                   enqueue_rx(*dvm, bytes, std::move(cb));
-                 });
-      }});
+  const PacketRef r = acquire(bytes, &dst, src.node().index(),
+                              dst.node().index(), std::move(on_delivered));
+  backend_of(src).enqueue(
+      Dom0Backend::Job{packet_cpu_cost(bytes), [this, r] { tx_effect(r); }});
 }
 
 void VirtualNetwork::inject(virt::Vm& dst, std::uint64_t bytes,
-                            std::function<void()> on_delivered) {
+                            sim::InlineCallback on_delivered) {
   assert(attached_);
   counters_.packets += 1;
   counters_.bytes += bytes;
@@ -195,24 +305,13 @@ void VirtualNetwork::inject(virt::Vm& dst, std::uint64_t bytes,
                net_event(simulation().now(), obs::ev::kInject,
                          dst.node().id().value, &dst,
                          static_cast<std::int64_t>(bytes)));
-  virt::Vm* dvm = &dst;
-  const int dst_node = dst.node().index();
-  simulation().call_in(
-      params().wire_latency,
-      [this, dvm, bytes, dst_node, cb = std::move(on_delivered)]() mutable {
-        const SimTime rx_done = serialize(
-            simulation().now(),
-            nodes_[static_cast<std::size_t>(dst_node)].nic_rx_busy, bytes,
-            params().nic_bandwidth_bps);
-        simulation().call_at(rx_done,
-                             [this, dvm, bytes, cb = std::move(cb)]() mutable {
-                               enqueue_rx(*dvm, bytes, std::move(cb));
-                             });
-      });
+  const PacketRef r = acquire(bytes, &dst, -1, dst.node().index(),
+                              std::move(on_delivered));
+  simulation().call_in(params().wire_latency, [this, r] { rx_arrive(r); });
 }
 
 void VirtualNetwork::send_out(virt::Vm& src, std::uint64_t bytes,
-                              std::function<void()> on_exit_fabric) {
+                              sim::InlineCallback on_exit_fabric) {
   assert(attached_);
   counters_.packets += 1;
   counters_.bytes += bytes;
@@ -222,48 +321,24 @@ void VirtualNetwork::send_out(virt::Vm& src, std::uint64_t bytes,
                net_event(simulation().now(), obs::ev::kGuestTx,
                          src.node().id().value, &src,
                          static_cast<std::int64_t>(bytes), -1));
-  const int src_node = src.node().index();
-  backend_of(src).enqueue(Dom0Backend::Job{
-      packet_cpu_cost(bytes),
-      [this, bytes, src_node, cb = std::move(on_exit_fabric)]() mutable {
-        const SimTime tx_done = serialize(
-            simulation().now(),
-            nodes_[static_cast<std::size_t>(src_node)].nic_tx_busy, bytes,
-            params().nic_bandwidth_bps);
-        simulation().call_at(tx_done + params().wire_latency, std::move(cb));
-      }});
+  const PacketRef r = acquire(bytes, nullptr, src.node().index(), -1,
+                              std::move(on_exit_fabric));
+  backend_of(src).enqueue(Dom0Backend::Job{packet_cpu_cost(bytes),
+                                           [this, r] { tx_out_effect(r); }});
 }
 
 void VirtualNetwork::submit_disk(virt::Vm& vm, std::uint64_t bytes,
-                                 std::function<void()> on_complete) {
+                                 sim::InlineCallback on_complete) {
   assert(attached_);
   counters_.disk_ops += 1;
-  virt::Vm* gvm = &vm;
-  NodeState* state = &state_of(vm);
   ATCSIM_TRACE(simulation().trace(),
                net_event(simulation().now(), obs::ev::kDiskSubmit,
                          vm.node().id().value, &vm,
                          static_cast<std::int64_t>(bytes)));
-  backend_of(vm).enqueue(Dom0Backend::Job{
-      params().dom0_disk_cost,
-      [this, gvm, state, bytes, cb = std::move(on_complete)]() mutable {
-        const auto& p = params();
-        const SimTime now = simulation().now();
-        const SimTime start = std::max(now, state->disk_busy);
-        const SimTime done =
-            start + p.disk_latency +
-            static_cast<SimTime>(static_cast<double>(bytes) /
-                                 p.disk_bandwidth_bps * 1e9);
-        state->disk_busy = done;
-        simulation().call_at(done, [this, gvm, bytes,
-                                    cb = std::move(cb)]() mutable {
-          ATCSIM_TRACE(simulation().trace(),
-                       net_event(simulation().now(), obs::ev::kDiskDone,
-                                 gvm->node().id().value, gvm,
-                                 static_cast<std::int64_t>(bytes)));
-          engine().deposit(*gvm, std::move(cb));
-        });
-      }});
+  const PacketRef r = acquire(bytes, &vm, vm.node().index(),
+                              vm.node().index(), std::move(on_complete));
+  backend_of(vm).enqueue(
+      Dom0Backend::Job{params().dom0_disk_cost, [this, r] { disk_issue(r); }});
 }
 
 }  // namespace atcsim::net

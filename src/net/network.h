@@ -10,14 +10,22 @@
 // scheduling waits the paper identifies as overhead sources 1-4.
 //
 // The same backend services blkback-style disk requests.
+//
+// Zero-allocation packet path (DESIGN.md §9): each in-flight packet or disk
+// request is one pooled, generation-tagged descriptor holding the caller's
+// completion as a single InlineCallback; every hop (dom0 job effect, NIC
+// completion, wire arrival, event-channel delivery) passes only the 8-byte
+// {slot, generation} handle, so the steady state of the whole path touches
+// the allocator exactly zero times once the slab and the dom0 job rings have
+// reached their high-water size.
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "simcore/inline_callback.h"
 #include "virt/engine.h"
 #include "virt/platform.h"
 #include "virt/sync_event.h"
@@ -36,7 +44,7 @@ class Dom0Backend : public virt::Workload {
 
   struct Job {
     sim::SimTime cpu_cost = 0;
-    std::function<void()> effect;
+    sim::InlineCallback effect;
   };
 
   /// Queues a job and rings dom0's event channel.
@@ -48,6 +56,9 @@ class Dom0Backend : public virt::Workload {
   std::string name() const override { return "dom0-backend"; }
 
   std::size_t backlog() const { return job_count_; }
+  /// Capacity of the job ring (pre-sized from ModelParams::dom0_ring_slots;
+  /// doubles on overflow, tracing a net.ring_grow event).
+  std::size_t ring_capacity() const { return jobs_.size(); }
 
  private:
   void grow_ring();
@@ -55,11 +66,12 @@ class Dom0Backend : public virt::Workload {
   VirtualNetwork* net_;
   virt::Node* node_;
   /// FIFO job ring (head_ + job_count_ entries, wrapping): a deque's chunk
-  /// churn would allocate in steady state, a ring only grows.
+  /// churn would allocate in steady state, a ring only grows.  Pre-sized at
+  /// construction so cold-start growth does not pollute short benchmarks.
   std::vector<Job> jobs_;
   std::size_t head_ = 0;
   std::size_t job_count_ = 0;
-  std::function<void()> pending_effect_;
+  sim::InlineCallback pending_effect_;
   /// Reused across idle transitions (SyncEvent::reset); allocating a fresh
   /// event per idle would break the zero-allocation steady state.
   virt::SyncEvent idle_wait_;
@@ -82,21 +94,21 @@ class VirtualNetwork {
   /// context (event-channel mailbox), i.e. only once that VM can process
   /// interrupts.
   void send(virt::Vm& src, virt::Vm& dst, std::uint64_t bytes,
-            std::function<void()> on_delivered);
+            sim::InlineCallback on_delivered);
 
   /// External client -> guest: the packet appears at the destination node's
   /// NIC after one wire latency (httperf-style load injection).
   void inject(virt::Vm& dst, std::uint64_t bytes,
-              std::function<void()> on_delivered);
+              sim::InlineCallback on_delivered);
 
   /// Guest -> external client; `on_exit_fabric` fires when the packet has
   /// left the platform (response-time measurement point).
   void send_out(virt::Vm& src, std::uint64_t bytes,
-                std::function<void()> on_exit_fabric);
+                sim::InlineCallback on_exit_fabric);
 
   /// blkback disk request from `vm`'s node-local disk.
   void submit_disk(virt::Vm& vm, std::uint64_t bytes,
-                   std::function<void()> on_complete);
+                   sim::InlineCallback on_complete);
 
   /// Node `n`'s dom0 backend; valid after attach().  Tests drive it
   /// directly to exercise the idle/wake path.
@@ -115,8 +127,38 @@ class VirtualNetwork {
   };
   const Counters& counters() const { return counters_; }
 
+  /// Descriptor slots ever created (high-water mark of concurrently
+  /// in-flight packets + disk requests); tests assert it stops growing.
+  std::size_t packet_slots() const { return pool_.size(); }
+  /// Descriptors currently in flight.
+  std::size_t packets_in_flight() const { return in_flight_; }
+
  private:
   friend class Dom0Backend;
+
+  /// Handle to a pooled packet descriptor.  {slot, generation}: the
+  /// generation tag makes a handle single-use — once the descriptor is
+  /// released the slot's generation moves on and stale handles trip the
+  /// assert in desc() instead of silently aliasing a recycled packet.
+  struct PacketRef {
+    std::uint32_t slot = 0;
+    std::uint32_t generation = 0;
+  };
+
+  /// One in-flight packet or disk request.  The caller's completion rides
+  /// in `done` from the first dom0 hop to final delivery; hops only ever
+  /// copy the 8-byte PacketRef.
+  struct Packet {
+    std::uint64_t bytes = 0;
+    virt::Vm* dst = nullptr;  ///< delivery target; nullptr = exits fabric
+    std::int32_t src_node = -1;
+    std::int32_t dst_node = -1;
+    sim::InlineCallback done;
+    std::uint32_t generation = 1;
+    std::uint32_t next_free = kNilSlot;
+  };
+
+  static constexpr std::uint32_t kNilSlot = UINT32_MAX;
 
   struct NodeState {
     std::unique_ptr<Dom0Backend> backend;
@@ -125,6 +167,27 @@ class VirtualNetwork {
     sim::SimTime disk_busy = 0;
   };
 
+  PacketRef acquire(std::uint64_t bytes, virt::Vm* dst, std::int32_t src_node,
+                    std::int32_t dst_node, sim::InlineCallback done);
+  Packet& desc(PacketRef r);
+  /// Retires the descriptor and returns its completion.  The slot goes back
+  /// on the free list *before* the callback is run or deposited, so a
+  /// completion that immediately sends the next message reuses the slot it
+  /// just freed.
+  sim::InlineCallback release(PacketRef r);
+  /// release() + invoke, for hops that complete outside any guest context.
+  void finish(PacketRef r);
+
+  // Per-hop steps of the split-driver path; each is scheduled by the
+  // previous one and carries only the descriptor handle.
+  void tx_effect(PacketRef r);        ///< src dom0 netback -> NIC or loopback
+  void rx_arrive(PacketRef r);        ///< wire arrival -> dst NIC rx leg
+  void enqueue_rx(PacketRef r);       ///< dst dom0 netback -> event channel
+  void deliver(PacketRef r);          ///< event-channel deposit to the guest
+  void tx_out_effect(PacketRef r);    ///< send_out: NIC + wire, then done
+  void disk_issue(PacketRef r);       ///< blkback submit on the node disk
+  void disk_done(PacketRef r);        ///< device completion -> event channel
+
   Dom0Backend& backend_of(const virt::Vm& vm);
   NodeState& state_of(const virt::Vm& vm);
   sim::SimTime packet_cpu_cost(std::uint64_t bytes) const;
@@ -132,15 +195,12 @@ class VirtualNetwork {
   static sim::SimTime serialize(sim::SimTime now, sim::SimTime& busy_until,
                                 std::uint64_t bytes, double bandwidth_bps);
 
-  /// tx-side NIC + wire + rx-side NIC, then hand to dst node's dom0.
-  void transmit(int src_node, int dst_node, std::uint64_t bytes,
-                std::function<void()> rx_effect_done);
-  void enqueue_rx(virt::Vm& dst, std::uint64_t bytes,
-                  std::function<void()> on_delivered);
-
   virt::Platform* platform_;
   std::vector<NodeState> nodes_;
   Counters counters_;
+  std::vector<Packet> pool_;  ///< descriptor slab; grows to high-water only
+  std::uint32_t free_head_ = kNilSlot;
+  std::size_t in_flight_ = 0;
   bool attached_ = false;
 };
 

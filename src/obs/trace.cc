@@ -61,6 +61,7 @@ const char* type_name(TraceCat c, std::uint8_t type) {
         case ev::kInject: return "inject";
         case ev::kDiskSubmit: return "disk_submit";
         case ev::kDiskDone: return "disk_done";
+        case ev::kRingGrow: return "ring_grow";
       }
       break;
   }

@@ -75,6 +75,7 @@ inline constexpr std::uint8_t kGuestRx = 2;   ///< a0=bytes (handed to dst dom0)
 inline constexpr std::uint8_t kInject = 3;    ///< a0=bytes (external -> guest)
 inline constexpr std::uint8_t kDiskSubmit = 4;  ///< a0=bytes
 inline constexpr std::uint8_t kDiskDone = 5;    ///< a0=bytes
+inline constexpr std::uint8_t kRingGrow = 6;  ///< a0=new cap, a1=old cap (dom0 job ring)
 }  // namespace ev
 
 /// VCPU leave-CPU reasons (kVcpu/kLeave a0); mirrors Engine::LeaveReason.

@@ -45,9 +45,29 @@ void EventQueue::push_key(HeapKey k) const {
 }
 
 void EventQueue::pop_key_top() const {
-  heap_[0] = heap_.back();
+  // Floyd's bottom-up deletion: the displaced last leaf almost always
+  // belongs back near the bottom, so sinking a hole along the min-child
+  // path (3 compares per level, no compare against the moved key) and then
+  // sifting the leaf up from there beats the textbook move-last-to-root
+  // sift_down, which pays 4 compares per level for the full depth.
+  const HeapKey last = heap_.back();
   heap_.pop_back();
-  if (!heap_.empty()) sift_down(0);
+  const std::size_t n = heap_.size();
+  if (n == 0) return;
+  std::size_t i = 0;
+  for (;;) {
+    const std::size_t first = 4 * i + 1;
+    if (first >= n) break;
+    const std::size_t end = std::min(first + 4, n);
+    std::size_t best = first;
+    for (std::size_t c = first + 1; c < end; ++c) {
+      if (earlier(heap_[c], heap_[best])) best = c;
+    }
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = last;
+  sift_up(i);
 }
 
 void EventQueue::drop_dead_head() const {
@@ -57,16 +77,29 @@ void EventQueue::drop_dead_head() const {
   }
 }
 
+void EventQueue::prune_due_head() const {
+  while (due_head_ < due_.size() && key_dead(due_[due_head_])) {
+    ++due_head_;
+    --dead_in_heap_;
+  }
+  if (due_head_ != 0 && due_head_ == due_.size()) {
+    due_.clear();  // retains capacity; the ring stays allocation-free
+    due_head_ = 0;
+  }
+}
+
 void EventQueue::maybe_compact() {
   if (dead_in_heap_ < kCompactMin || dead_in_heap_ <= live_count_) return;
   // In-place filter of dead keys, then a bottom-up heapify.  O(heap size),
-  // amortized O(1) per cancel because a compaction halves the array.
+  // amortized O(1) per cancel because a compaction halves the array.  Only
+  // the heap is swept: dead keys can also sit in the due ring, so subtract
+  // exactly what was removed rather than zeroing the counter.
   std::size_t w = 0;
   for (const HeapKey& k : heap_) {
     if (!key_dead(k)) heap_[w++] = k;
   }
+  dead_in_heap_ -= heap_.size() - w;
   heap_.resize(w);
-  dead_in_heap_ = 0;
   if (w > 1) {
     for (std::size_t i = (w - 2) / 4 + 1; i-- > 0;) sift_down(i);
   }
@@ -80,8 +113,13 @@ std::uint32_t EventQueue::alloc_slot() {
     free_.pop_back();
     return s;
   }
-  slots_.emplace_back();
-  return static_cast<std::uint32_t>(slots_.size() - 1);
+  assert(meta_.size() < (std::size_t{1} << kSlotBits) &&
+         "event slab exceeded the packed-key slot capacity");
+  meta_.emplace_back();
+  if (payload_chunks_.size() * kChunkSize < meta_.size()) {
+    payload_chunks_.push_back(std::make_unique<Callback[]>(kChunkSize));
+  }
+  return static_cast<std::uint32_t>(meta_.size() - 1);
 }
 
 // ------------------------------------------------------------- one-shots --
@@ -89,26 +127,33 @@ std::uint32_t EventQueue::alloc_slot() {
 EventId EventQueue::schedule(SimTime when, Callback fn) {
   assert(fn && "scheduled callback must be callable");
   const std::uint32_t s = alloc_slot();
-  Slot& slot = slots_[s];
-  slot.fn = std::move(fn);
+  SlotMeta& slot = meta_[s];
+  payload(s) = std::move(fn);
   slot.is_timer = false;
   if (++slot.generation == 0) ++slot.generation;  // 0 is the invalid tag
-  const std::uint64_t seq = next_seq_++;
+  const std::uint64_t seq = next_seq(s);
   slot.live_seq = seq;
-  push_key(HeapKey{when, seq, s});
+  // Due-now fast path: a key for the timestamp currently being drained can
+  // never be reordered ahead of anything in the heap (same time, later seq),
+  // so it skips the heap and drains FIFO from the due ring.
+  if (when == frontier_) {
+    due_.push_back(HeapKey{when, seq});
+  } else {
+    push_key(HeapKey{when, seq});
+  }
   ++live_count_;
   return EventId{s, slot.generation};
 }
 
 bool EventQueue::cancel(EventId id) {
-  if (!id.valid() || id.slot >= slots_.size()) return false;
-  Slot& slot = slots_[id.slot];
+  if (!id.valid() || id.slot >= meta_.size()) return false;
+  SlotMeta& slot = meta_[id.slot];
   if (slot.is_timer || slot.generation != id.generation ||
       slot.live_seq == 0) {
     return false;  // already fired, already cancelled, or slot reused
   }
   slot.live_seq = 0;
-  slot.fn.reset();  // release captured state now, not at pop time
+  payload(id.slot).reset();  // release captured state now, not at pop time
   free_.push_back(id.slot);
   --live_count_;
   ++dead_in_heap_;
@@ -121,31 +166,36 @@ bool EventQueue::cancel(EventId id) {
 TimerId EventQueue::make_timer(Callback fn) {
   assert(fn && "timer callback must be callable");
   const std::uint32_t s = alloc_slot();
-  Slot& slot = slots_[s];
-  slot.fn = std::move(fn);
+  SlotMeta& slot = meta_[s];
+  payload(s) = std::move(fn);
   slot.is_timer = true;
   slot.live_seq = 0;
   return TimerId{s};
 }
 
 void EventQueue::arm(TimerId t, SimTime when) {
-  assert(t.valid() && t.slot < slots_.size() && slots_[t.slot].is_timer);
-  Slot& slot = slots_[t.slot];
+  assert(t.valid() && t.slot < meta_.size() && meta_[t.slot].is_timer);
+  SlotMeta& slot = meta_[t.slot];
   if (slot.live_seq != 0) {
     // Supersede the pending firing; its key dies in place.
     --live_count_;
     ++dead_in_heap_;
   }
-  const std::uint64_t seq = next_seq_++;
+  const std::uint64_t seq = next_seq(t.slot);
   slot.live_seq = seq;
-  push_key(HeapKey{when, seq, t.slot});
+  if (when == frontier_) {
+    // Zero-delay re-arm (the engine's dispatch kicks): due ring, not heap.
+    due_.push_back(HeapKey{when, seq});
+  } else {
+    push_key(HeapKey{when, seq});
+  }
   ++live_count_;
   maybe_compact();
 }
 
 bool EventQueue::disarm(TimerId t) {
-  assert(t.valid() && t.slot < slots_.size() && slots_[t.slot].is_timer);
-  Slot& slot = slots_[t.slot];
+  assert(t.valid() && t.slot < meta_.size() && meta_[t.slot].is_timer);
+  SlotMeta& slot = meta_[t.slot];
   if (slot.live_seq == 0) return false;  // not armed (or just fired)
   slot.live_seq = 0;
   --live_count_;
@@ -155,36 +205,50 @@ bool EventQueue::disarm(TimerId t) {
 }
 
 void EventQueue::invoke_timer(std::uint32_t slot) {
-  // The payload is moved to the stack around the call: the callback may
-  // allocate new slots (growing `slots_` and invalidating references), but
-  // the slot *index* stays valid, so the payload is restored afterwards.
-  Callback fn = std::move(slots_[slot].fn);
-  fn();
-  slots_[slot].fn = std::move(fn);
+  // Payload chunks are address-stable, so the callback runs in place: even
+  // if it allocates new slots (appending a chunk) or re-arms this timer
+  // (which touches only meta_), the Callback being executed never moves.
+  payload(slot)();
 }
 
 // --------------------------------------------------------------- drain ----
 
 SimTime EventQueue::next_time() const {
+  prune_due_head();
   drop_dead_head();
+  // Due-ring keys are all at frontier_, which no heap key can precede (the
+  // past is not schedulable), so a non-empty due ring decides the time.
+  if (due_head_ < due_.size()) return due_[due_head_].time;
   return heap_.empty() ? kTimeNever : heap_[0].time;
 }
 
 EventQueue::Popped EventQueue::pop() {
+  prune_due_head();
   drop_dead_head();
-  assert(!heap_.empty() && "pop() on empty EventQueue");
-  const HeapKey k = heap_[0];
-  pop_key_top();
-  Slot& slot = slots_[k.slot];
+  HeapKey k;
+  if (due_head_ < due_.size() &&
+      (heap_.empty() || earlier(due_[due_head_], heap_[0]))) {
+    k = due_[due_head_++];
+    if (due_head_ == due_.size()) {
+      due_.clear();
+      due_head_ = 0;
+    }
+  } else {
+    assert(!heap_.empty() && "pop() on empty EventQueue");
+    k = heap_[0];
+    pop_key_top();
+  }
+  frontier_ = k.time;
+  const std::uint32_t s = k.slot();
+  SlotMeta& slot = meta_[s];
   slot.live_seq = 0;
   --live_count_;
   if (slot.is_timer) {
     // Thunk into the slot: the payload stays in place for the next arm().
-    const std::uint32_t s = k.slot;
     return Popped{k.time, Callback([this, s] { invoke_timer(s); })};
   }
-  Popped out{k.time, std::move(slot.fn)};
-  free_.push_back(k.slot);
+  Popped out{k.time, std::move(payload(s))};
+  free_.push_back(s);
   return out;
 }
 

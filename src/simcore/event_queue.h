@@ -9,13 +9,14 @@
 //  * Liveness is tracked by generation-tagged slab slots instead of a hash
 //    set: EventId = {slot, generation}, and cancel() is two array compares —
 //    no hashing, no node allocation.
-//  * The heap is split: a 4-ary min-heap of hot 24-byte keys
-//    {time, seq, slot} is sifted during schedule/pop, while callback
+//  * The heap is split: a 4-ary min-heap of hot 16-byte keys
+//    {time, seq<<24|slot} is sifted during schedule/pop, while callback
 //    payloads stay put in their slab slot.  Comparisons touch only the key
-//    array (2.6 keys per cache line, half the tree depth of a binary heap).
+//    array (4 keys per cache line, half the tree depth of a binary heap),
+//    and pops use Floyd's bottom-up deletion.
 //  * Cancellation is lazy, but bounded: cancelling destroys the payload
 //    immediately (captured state is released right away) and leaves only a
-//    dead 24-byte key behind; when dead keys outnumber live ones the key
+//    dead 16-byte key behind; when dead keys outnumber live ones the key
 //    array is compacted in place.
 //  * Recurring timers (`make_timer`/`arm`/`disarm`) keep their callback in a
 //    permanent slot and re-arm in place: per firing cost is one key push,
@@ -30,101 +31,18 @@
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
-#include <new>
-#include <type_traits>
+#include <memory>
 #include <utility>
 #include <vector>
 
+#include "simcore/inline_callback.h"
 #include "simcore/time.h"
 
 namespace atcsim::sim {
 
-/// Small-buffer-optimized `void()` callable.  Move-only; never allocates.
-/// Callables must fit kCapacity bytes and be nothrow-move-constructible —
-/// both are enforced at compile time, so growing a capture past the budget
-/// is a build error, not a silent heap fallback.
-class InlineCallback {
- public:
-  static constexpr std::size_t kCapacity = 64;
-
-  InlineCallback() = default;
-
-  template <typename F,
-            typename D = std::decay_t<F>,
-            typename = std::enable_if_t<!std::is_same_v<D, InlineCallback> &&
-                                        std::is_invocable_r_v<void, D&>>>
-  InlineCallback(F&& f) {  // NOLINT: implicit by design (lambda -> Callback)
-    static_assert(sizeof(D) <= kCapacity,
-                  "callback exceeds InlineCallback::kCapacity — shrink the "
-                  "capture (capture a context pointer instead of values)");
-    static_assert(alignof(D) <= alignof(std::max_align_t),
-                  "callback over-aligned for inline storage");
-    static_assert(std::is_nothrow_move_constructible_v<D>,
-                  "callback must be nothrow-move-constructible");
-    ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
-    ops_ = &OpsFor<D>::kOps;
-  }
-
-  InlineCallback(InlineCallback&& other) noexcept : ops_(other.ops_) {
-    if (ops_ != nullptr) {
-      ops_->relocate(buf_, other.buf_);
-      other.ops_ = nullptr;
-    }
-  }
-
-  InlineCallback& operator=(InlineCallback&& other) noexcept {
-    if (this != &other) {
-      reset();
-      if (other.ops_ != nullptr) {
-        ops_ = other.ops_;
-        ops_->relocate(buf_, other.buf_);
-        other.ops_ = nullptr;
-      }
-    }
-    return *this;
-  }
-
-  InlineCallback(const InlineCallback&) = delete;
-  InlineCallback& operator=(const InlineCallback&) = delete;
-
-  ~InlineCallback() { reset(); }
-
-  void reset() noexcept {
-    if (ops_ != nullptr) {
-      ops_->destroy(buf_);
-      ops_ = nullptr;
-    }
-  }
-
-  explicit operator bool() const { return ops_ != nullptr; }
-
-  void operator()() {
-    assert(ops_ != nullptr && "invoking empty InlineCallback");
-    ops_->invoke(buf_);
-  }
-
- private:
-  struct Ops {
-    void (*invoke)(void*);
-    /// Move-constructs dst from src, then destroys src.
-    void (*relocate)(void* dst, void* src) noexcept;
-    void (*destroy)(void*) noexcept;
-  };
-
-  template <typename D>
-  struct OpsFor {
-    static void invoke(void* p) { (*static_cast<D*>(p))(); }
-    static void relocate(void* dst, void* src) noexcept {
-      ::new (dst) D(std::move(*static_cast<D*>(src)));
-      static_cast<D*>(src)->~D();
-    }
-    static void destroy(void* p) noexcept { static_cast<D*>(p)->~D(); }
-    static constexpr Ops kOps{&invoke, &relocate, &destroy};
-  };
-
-  alignas(std::max_align_t) unsigned char buf_[kCapacity];
-  const Ops* ops_ = nullptr;
-};
+// InlineCallback — the 64-byte SBO callable the queue stores — lives in
+// simcore/inline_callback.h; it is shared with the split-driver packet
+// descriptors and the VM event-channel mailboxes.
 
 /// Opaque handle identifying a scheduled one-shot event; used only for
 /// cancellation.  {slot, generation}: the generation tag makes handles
@@ -184,8 +102,8 @@ class EventQueue {
   bool disarm(TimerId t);
 
   bool armed(TimerId t) const {
-    assert(t.valid() && t.slot < slots_.size());
-    return slots_[t.slot].live_seq != 0;
+    assert(t.valid() && t.slot < meta_.size());
+    return meta_[t.slot].live_seq != 0;
   }
 
   // --- draining ----------------------------------------------------------
@@ -219,27 +137,46 @@ class EventQueue {
 
   /// Slab slots allocated over the queue's lifetime (high-water mark of
   /// concurrently live events + timers).
-  std::size_t slot_count() const { return slots_.size(); }
+  std::size_t slot_count() const { return meta_.size(); }
 
  private:
-  /// Hot comparison key.  24 bytes: sifting touches only this array.
+  /// Slot index bits packed into the low end of HeapKey::seq_slot; caps the
+  /// slab at 16M concurrent events (asserted in alloc_slot) and leaves 40
+  /// bits of insertion sequence (asserted in next_seq(); ~10^12 events).
+  static constexpr unsigned kSlotBits = 24;
+
+  /// Hot comparison key, 16 bytes — four per cache line, so the 4-ary
+  /// sift's find-best-child scan touches half the lines a 24-byte key
+  /// would.  `seq_slot` is (seq << kSlotBits) | slot: seq is unique, so
+  /// comparing the packed word compares insertion sequence.
   struct HeapKey {
     SimTime time;
-    std::uint64_t seq;
-    std::uint32_t slot;
+    std::uint64_t seq_slot;
+
+    std::uint32_t slot() const {
+      return static_cast<std::uint32_t>(seq_slot & ((1u << kSlotBits) - 1));
+    }
   };
 
-  struct Slot {
-    Callback fn;
-    /// Sequence number of the live heap key pointing at this slot; 0 when
+  /// Per-slot bookkeeping, split from the 72-byte callback payload: the
+  /// liveness checks on pop/next_time/compact hit this dense 16-byte array
+  /// instead of sweeping the payload slab.
+  struct SlotMeta {
+    /// Packed seq_slot of the live heap key pointing at this slot; 0 when
     /// none (free, cancelled, fired, or disarmed).  A heap key is dead iff
-    /// slots_[key.slot].live_seq != key.seq.
+    /// meta_[key.slot()].live_seq != key.seq_slot.
     std::uint64_t live_seq = 0;
     /// Bumped on every one-shot allocation; EventId carries a copy, so
     /// stale handles to reused slots fail the generation compare.
     std::uint32_t generation = 0;
     bool is_timer = false;
   };
+
+  /// Payload chunk granularity.  Chunks are address-stable, so a timer's
+  /// callback can run in place even if the callback allocates new slots
+  /// (no move-out/move-back per firing).
+  static constexpr std::size_t kChunkShift = 8;
+  static constexpr std::size_t kChunkSize = std::size_t{1} << kChunkShift;
 
   /// Compaction threshold: dead keys are tolerated up to the number of live
   /// keys (amortized O(1) per cancel) but at least this many, so small
@@ -248,11 +185,22 @@ class EventQueue {
 
   static bool earlier(const HeapKey& a, const HeapKey& b) {
     if (a.time != b.time) return a.time < b.time;
-    return a.seq < b.seq;
+    return a.seq_slot < b.seq_slot;
   }
 
   bool key_dead(const HeapKey& k) const {
-    return slots_[k.slot].live_seq != k.seq;
+    return meta_[k.slot()].live_seq != k.seq_slot;
+  }
+
+  Callback& payload(std::uint32_t s) {
+    return payload_chunks_[s >> kChunkShift][s & (kChunkSize - 1)];
+  }
+
+  /// Next packed seq_slot value for `slot`.
+  std::uint64_t next_seq(std::uint32_t slot) {
+    assert(next_seq_ < (std::uint64_t{1} << (64 - kSlotBits)) &&
+           "event insertion sequence exhausted");
+    return (next_seq_++ << kSlotBits) | slot;
   }
 
   std::uint32_t alloc_slot();
@@ -261,14 +209,28 @@ class EventQueue {
   void sift_up(std::size_t i) const;
   void sift_down(std::size_t i) const;
   void drop_dead_head() const;
+  void prune_due_head() const;
   void maybe_compact();
   void invoke_timer(std::uint32_t slot);
 
-  // `heap_` and `dead_in_heap_` are mutable so const accessors
+  // `heap_`, `due_` and `dead_in_heap_` are mutable so const accessors
   // (next_time) can prune cancelled heads.
   mutable std::vector<HeapKey> heap_;
   mutable std::size_t dead_in_heap_ = 0;
-  std::vector<Slot> slots_;
+
+  /// Due-now fast path: keys scheduled for exactly the last popped time
+  /// (`frontier_`) — the engine's zero-delay dispatch kicks — skip the heap
+  /// and drain FIFO.  Among equal-time events pop order is insertion-
+  /// sequence order, which IS FIFO order, so determinism is unchanged; the
+  /// ring is drained before the frontier can advance, because pop() always
+  /// takes the (time, seq)-earlier of the two heads.  Capacity is retained
+  /// across drains (index reset, no deallocation).
+  mutable std::vector<HeapKey> due_;
+  mutable std::size_t due_head_ = 0;
+  SimTime frontier_ = -1;  ///< time of the last popped event
+
+  std::vector<SlotMeta> meta_;
+  std::vector<std::unique_ptr<Callback[]>> payload_chunks_;
   std::vector<std::uint32_t> free_;
   std::uint64_t next_seq_ = 1;
   std::size_t live_count_ = 0;

@@ -63,6 +63,10 @@ class Simulation {
 
   std::size_t pending_events() const { return queue_.size(); }
 
+  /// Read-only view of the event queue (observability: heap/slab sizing in
+  /// tests and benchmark reports).
+  const EventQueue& queue() const { return queue_; }
+
   /// Attaches a structured trace sink (non-owning; nullptr disables).  Every
   /// model component reaches the sink through its Simulation, so one call
   /// instruments the whole run.

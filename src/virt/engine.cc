@@ -325,7 +325,7 @@ void Engine::end_spin_episode(Vcpu& v) {
   vm.totals().spin_episodes += 1;
 }
 
-void Engine::deposit(Vm& vm, std::function<void()> handler) {
+void Engine::deposit(Vm& vm, sim::InlineCallback handler) {
   vm.period().io_events += 1;
   vm.totals().io_events += 1;
   if (vm.any_running()) {
@@ -339,10 +339,17 @@ void Engine::deposit(Vm& vm, std::function<void()> handler) {
 }
 
 void Engine::drain_mailbox(Vm& vm) {
-  while (!vm.mailbox().empty()) {
-    auto handlers = std::move(vm.mailbox());
-    vm.mailbox().clear();
-    for (auto& h : handlers) h();
+  // Swap into the VM's retained scratch buffer instead of moving the vector
+  // out: a move would surrender the mailbox's capacity and force the next
+  // deposit burst to reallocate.  Handlers may deposit re-entrantly (they
+  // land in the now-empty mailbox), hence the outer loop.
+  auto& box = vm.mailbox();
+  auto& scratch = vm.mailbox_scratch();
+  while (!box.empty()) {
+    assert(scratch.empty());
+    box.swap(scratch);
+    for (auto& h : scratch) h();
+    scratch.clear();
   }
 }
 

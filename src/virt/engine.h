@@ -6,8 +6,7 @@
 // mail, and services SyncEvent signals.
 #pragma once
 
-#include <functional>
-
+#include "simcore/inline_callback.h"
 #include "simcore/simulation.h"
 #include "virt/params.h"
 #include "virt/platform.h"
@@ -35,7 +34,7 @@ class Engine {
   /// guest); otherwise it is queued and a blocked VCPU (if any) is woken,
   /// and the mailbox drains when the VM is next dispatched.  This is the
   /// "wait for the VM to be scheduled" overhead of Fig. 4.
-  void deposit(Vm& vm, std::function<void()> handler);
+  void deposit(Vm& vm, sim::InlineCallback handler);
 
   /// Blocked -> runnable transition (SyncEvent signal or IRQ).
   void wake(Vcpu& v);

@@ -5,6 +5,8 @@
 // Every experiment takes a ModelParams so ablations can vary them.
 #pragma once
 
+#include <cstddef>
+
 #include "simcore/time.h"
 
 namespace atcsim::virt {
@@ -80,6 +82,12 @@ struct ModelParams {
 
   /// dom0 CPU cost per KiB copied through netback.
   SimTime dom0_per_kib_cost = 1_us;
+
+  /// Initial capacity of each dom0 backend's job ring (expected in-flight
+  /// netback/blkback jobs per node).  The ring doubles when it fills —
+  /// tracing a net.ring_grow event — so this only sets the cold-start size;
+  /// at ~80 B/slot the default costs 512 nodes * 64 * 80 B ≈ 2.6 MB.
+  std::size_t dom0_ring_slots = 64;
 
   /// Guest-side cost to post or receive one packet.
   SimTime guest_packet_cost = 3_us;

@@ -3,10 +3,10 @@
 // Guests wait on a SyncEvent either spinning (kSpinWait: the VCPU stays
 // runnable and burns CPU — the user-space MPI busy-poll model) or blocked
 // (kBlockWait: the VCPU halts and is woken with BOOST — the kernel/IRQ
-// model).  A SyncEvent is signalled at most once between resets; one-shot
-// constructs (barriers) allocate one per generation, while steady-state
-// consumers (dom0's idle wait) reset() and reuse a single event to honour
-// the zero-allocation contract.
+// model).  A SyncEvent is signalled at most once between resets;
+// steady-state consumers (dom0's idle wait, BspApp's generation ring of
+// barrier events) reset() and reuse their events to honour the
+// zero-allocation contract.
 #pragma once
 
 #include <cassert>
@@ -41,6 +41,15 @@ class SyncEvent {
   void reset() {
     assert(waiters_.empty() && "reset() with waiters still registered");
     signalled_ = false;
+  }
+
+  /// Pre-sizes both waiter buffers for `n` concurrent waiters.  signal()
+  /// swaps `waiters_` into `scratch_`, so without this an event reaches its
+  /// allocation-free steady state only after *two* wait/signal cycles;
+  /// construction-time reservation removes the warm-up transient entirely.
+  void reserve(std::size_t n) {
+    waiters_.reserve(n);
+    scratch_.reserve(n);
   }
 
   /// Engine bookkeeping: registers a waiter (any wait style).

@@ -3,11 +3,11 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "simcore/inline_callback.h"
 #include "simcore/time.h"
 #include "virt/ids.h"
 #include "virt/vcpu.h"
@@ -102,7 +102,15 @@ class Vm {
   // --- event-channel mailbox ---------------------------------------------
   /// Pending guest-side completions (packet/disk arrivals).  Handlers run
   /// when the VM is next able to process interrupts; see Engine::deposit.
-  std::vector<std::function<void()>>& mailbox() { return mailbox_; }
+  std::vector<sim::InlineCallback>& mailbox() { return mailbox_; }
+
+  /// Drain-side twin of mailbox(): Engine::drain_mailbox swaps the mailbox
+  /// into this buffer before running handlers, so re-entrant deposits go to
+  /// the (now empty) mailbox and both vectors keep their capacity — the
+  /// steady state of a busy event channel never touches the allocator.
+  std::vector<sim::InlineCallback>& mailbox_scratch() {
+    return mailbox_scratch_;
+  }
 
   /// True when at least one VCPU is on a PCPU.
   bool any_running() const;
@@ -122,7 +130,8 @@ class Vm {
   bool latency_sensitive_ = false;
   PeriodStats period_;
   Totals totals_;
-  std::vector<std::function<void()>> mailbox_;
+  std::vector<sim::InlineCallback> mailbox_;
+  std::vector<sim::InlineCallback> mailbox_scratch_;
 };
 
 }  // namespace atcsim::virt

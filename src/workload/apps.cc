@@ -52,8 +52,13 @@ CpuBoundWorkload::Config CpuBoundWorkload::stream() {
 // -------------------------------------------------------- IdleServerWorkload
 
 virt::Action IdleServerWorkload::next(virt::Vcpu& /*self*/) {
-  if (wait_ == nullptr || wait_->signalled()) {
+  // Created once, then reset-and-reused: a woken waiter implies the event
+  // has no registered waiters, so the halted-server steady state performs
+  // no allocations (including the waiter-list growth a fresh event pays).
+  if (wait_ == nullptr) {
     wait_ = std::make_unique<virt::SyncEvent>(*engine_);
+  } else if (wait_->signalled()) {
+    wait_->reset();
   }
   return virt::Action::block_wait(*wait_);
 }
@@ -63,7 +68,11 @@ virt::Action IdleServerWorkload::next(virt::Vcpu& /*self*/) {
 virt::Action PingWorkload::next(virt::Vcpu& /*self*/) {
   switch (phase_) {
     case Phase::kSend: {
-      reply_ = std::make_unique<virt::SyncEvent>(net_->engine());
+      if (reply_ == nullptr) {
+        reply_ = std::make_unique<virt::SyncEvent>(net_->engine());
+      } else {
+        reply_->reset();
+      }
       sent_at_ = net_->simulation().now();
       virt::SyncEvent* reply = reply_.get();
       virt::Vm* peer = peer_;
@@ -83,7 +92,11 @@ virt::Action PingWorkload::next(virt::Vcpu& /*self*/) {
         rtt_->record(net_->simulation().now() - sent_at_);
       }
       phase_ = Phase::kSend;
-      sleep_ = std::make_unique<virt::SyncEvent>(net_->engine());
+      if (sleep_ == nullptr) {
+        sleep_ = std::make_unique<virt::SyncEvent>(net_->engine());
+      } else {
+        sleep_->reset();
+      }
       virt::SyncEvent* sleep = sleep_.get();
       net_->simulation().call_in(cfg_.interval, [sleep] { sleep->signal(); });
       return virt::Action::block_wait(*sleep_);
@@ -108,7 +121,11 @@ virt::Action DiskWorkload::next(virt::Vcpu& /*self*/) {
     return virt::Action::compute(cfg_.submit_cost);
   }
   // Pipe full: sleep until a completion frees a slot.
-  wait_ = std::make_unique<virt::SyncEvent>(net_->engine());
+  if (wait_ == nullptr) {
+    wait_ = std::make_unique<virt::SyncEvent>(net_->engine());
+  } else {
+    wait_->reset();
+  }
   return virt::Action::block_wait(*wait_);
 }
 
@@ -137,7 +154,11 @@ virt::Action WebServerWorkload::next(virt::Vcpu& /*self*/) {
     serving_ = true;
     return virt::Action::compute(rng_.jittered(cfg_.service, cfg_.jitter));
   }
-  idle_ = std::make_unique<virt::SyncEvent>(net_->engine());
+  if (idle_ == nullptr) {
+    idle_ = std::make_unique<virt::SyncEvent>(net_->engine());
+  } else {
+    idle_->reset();
+  }
   return virt::Action::block_wait(*idle_);
 }
 

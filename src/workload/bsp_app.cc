@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <stdexcept>
 
 namespace atcsim::workload {
 
@@ -13,12 +14,35 @@ BspApp::BspApp(net::VirtualNetwork& net, std::vector<virt::Vm*> vms,
                metrics::DurationRecorder* iteration_rec)
     : net_(&net), cfg_(cfg), rng_(rng), vm_ptrs_(std::move(vms)),
       superstep_rec_(superstep_rec), iteration_rec_(iteration_rec) {
+  if (cfg_.sync_rounds < 1 || cfg_.sync_rounds > 32) {
+    throw std::invalid_argument(
+        "BspConfig.sync_rounds must be in [1, 32], got " +
+        std::to_string(cfg_.sync_rounds));
+  }
   assert(!vm_ptrs_.empty());
   vms_.resize(vm_ptrs_.size());
   for (std::size_t i = 0; i < vm_ptrs_.size(); ++i) {
-    vms_[i].vm = vm_ptrs_[i];
+    VmState& vs = vms_[i];
+    vs.vm = vm_ptrs_[i];
     assert(vm_ptrs_[i]->vcpu_count() == vm_ptrs_[0]->vcpu_count() &&
            "all VMs of a virtual cluster have the same VCPU count");
+    // Construct the whole event ring up front; steady-state supersteps only
+    // reset these in place (see the kGenWindow comment in the header).  Each
+    // event can have at most one waiter per rank of its VM, so reserving
+    // that capacity here keeps even the first pass over the ring — the
+    // phase measured by short benchmark windows — allocation-free.
+    const std::size_t max_waiters = vm_ptrs_[i]->vcpu_count();
+    for (GenSlot& gs : vs.gens) {
+      gs.release = std::make_unique<virt::SyncEvent>(net_->engine());
+      gs.release->reserve(max_waiters);
+      gs.local.reserve(static_cast<std::size_t>(cfg_.sync_rounds - 1));
+      for (int seg = 0; seg < cfg_.sync_rounds - 1; ++seg) {
+        gs.local.push_back(std::make_unique<virt::SyncEvent>(net_->engine()));
+        gs.local.back()->reserve(max_waiters);
+      }
+      gs.local_arrivals.assign(static_cast<std::size_t>(cfg_.sync_rounds - 1),
+                               0);
+    }
   }
 }
 
@@ -38,30 +62,17 @@ void BspApp::attach() {
 }
 
 virt::SyncEvent& BspApp::release_event(int vm_index, std::uint64_t gen) {
-  auto& releases = vms_[static_cast<std::size_t>(vm_index)].releases;
-  auto it = releases.find(gen);
-  if (it == releases.end()) {
-    it = releases
-             .emplace(gen, std::make_unique<virt::SyncEvent>(net_->engine()))
-             .first;
-  }
-  return *it->second;
+  return *slot(vm_index, gen).release;
 }
 
 virt::SyncEvent& BspApp::local_round_arrived(int vm_index,
                                              std::uint64_t gen, int seg) {
-  VmState& vs = vms_[static_cast<std::size_t>(vm_index)];
-  const std::uint64_t key = (gen << 5) | static_cast<std::uint64_t>(seg);
-  auto it = vs.local_events.find(key);
-  if (it == vs.local_events.end()) {
-    it = vs.local_events
-             .emplace(key, std::make_unique<virt::SyncEvent>(net_->engine()))
-             .first;
-  }
-  virt::SyncEvent& ev = *it->second;
-  const int arrived = ++vs.local_arrivals[key];
+  GenSlot& gs = slot(vm_index, gen);
+  virt::SyncEvent& ev = *gs.local[static_cast<std::size_t>(seg)];
+  const int arrived = ++gs.local_arrivals[static_cast<std::size_t>(seg)];
+  const VmState& vs = vms_[static_cast<std::size_t>(vm_index)];
   if (arrived == static_cast<int>(vs.vm->vcpu_count())) {
-    vs.local_arrivals.erase(key);
+    gs.local_arrivals[static_cast<std::size_t>(seg)] = 0;
     // Shared-memory barrier: the last local arriver releases it in place.
     ev.signal();
   }
@@ -69,11 +80,12 @@ virt::SyncEvent& BspApp::local_round_arrived(int vm_index,
 }
 
 virt::SyncEvent& BspApp::rank_arrived(int vm_index, std::uint64_t gen) {
-  VmState& vs = vms_[static_cast<std::size_t>(vm_index)];
-  virt::SyncEvent& release = release_event(vm_index, gen);
-  const int arrived = ++vs.arrivals[gen];
+  GenSlot& gs = slot(vm_index, gen);
+  virt::SyncEvent& release = *gs.release;
+  const int arrived = ++gs.arrivals;
+  const VmState& vs = vms_[static_cast<std::size_t>(vm_index)];
   if (arrived == static_cast<int>(vs.vm->vcpu_count())) {
-    vs.arrivals.erase(gen);
+    gs.arrivals = 0;
     // The last local arriver notifies the coordinator (VM 0) on behalf of
     // its VM, carrying the application's per-superstep exchange volume.
     if (vm_index == 0) {
@@ -87,9 +99,9 @@ virt::SyncEvent& BspApp::rank_arrived(int vm_index, std::uint64_t gen) {
 }
 
 void BspApp::coordinator_arrive(std::uint64_t gen) {
-  const int arrived = ++coord_arrivals_[gen];
+  const int arrived = ++coord_arrivals_[gen & (kGenWindow - 1)];
   if (arrived == static_cast<int>(vms_.size())) {
-    coord_arrivals_.erase(gen);
+    coord_arrivals_[gen & (kGenWindow - 1)] = 0;
     release_generation(gen);
   }
 }
@@ -116,15 +128,16 @@ void BspApp::release_generation(std::uint64_t gen) {
                });
   }
 
-  // GC: by the time generation g is released, every rank has passed the
-  // g-1 barrier, so no VCPU can still reference events of g-2.
+  // Recycle: by the time generation g is released, every rank has passed
+  // the g-1 barrier, so no VCPU can still reference events of g-2.  Reset
+  // that slot in place for generation g+2 — the same liveness window the
+  // old erase-based GC enforced, minus the destruction and reallocation.
   if (gen >= 2) {
     for (auto& vs : vms_) {
-      vs.releases.erase(gen - 2);
-      for (int seg = 0; seg < cfg_.sync_rounds; ++seg) {
-        vs.local_events.erase(((gen - 2) << 5) |
-                              static_cast<std::uint64_t>(seg));
-      }
+      GenSlot& gs = vs.gens[(gen - 2) & (kGenWindow - 1)];
+      assert(gs.arrivals == 0 && "recycling a generation mid-barrier");
+      gs.release->reset();
+      for (auto& ev : gs.local) ev->reset();
     }
   }
 }

@@ -12,10 +12,10 @@
 // with the time slices of co-located VMs — the effect ATC exploits.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "metrics/recorders.h"
@@ -39,7 +39,8 @@ struct BspConfig {
   /// Compute-then-synchronize segments per superstep.  The first
   /// (sync_rounds - 1) syncs are intra-VM shared-memory barriers (the LHP
   /// spin the co-scheduling literature targets); the last is the global
-  /// cross-VM barrier.  Must be in [1, 31].
+  /// cross-VM barrier.  Must be in [1, 32]; BspApp's constructor throws
+  /// std::invalid_argument otherwise.
   int sync_rounds = 3;
   double cache_sensitivity = 1.0;
 };
@@ -49,6 +50,7 @@ class BspRank;
 /// One parallel application running on a virtual cluster of VMs.
 class BspApp {
  public:
+  /// Throws std::invalid_argument when cfg.sync_rounds is outside [1, 32].
   BspApp(net::VirtualNetwork& net, std::vector<virt::Vm*> vms, BspConfig cfg,
          sim::Rng rng, metrics::DurationRecorder* superstep_rec,
          metrics::DurationRecorder* iteration_rec);
@@ -79,15 +81,36 @@ class BspApp {
   void release_generation(std::uint64_t gen);
   virt::SyncEvent& release_event(int vm_index, std::uint64_t gen);
 
+  /// Barrier events are a fixed ring of reusable slots indexed gen %
+  /// kGenWindow, not a per-generation map: at release_generation(g) every
+  /// rank has passed barrier g-1, so the only generations whose events can
+  /// still be referenced are {g-1, g, g+1} — three — and a window of four
+  /// lets slot (g-2) % 4 be reset in place for generation g+2.  Steady-state
+  /// supersteps therefore never touch the allocator (the old map-of-
+  /// unique_ptr design created and destroyed every event once per
+  /// generation).
+  static constexpr std::uint64_t kGenWindow = 4;
+
+  /// Reusable barrier state for one generation slot of one VM.  Events are
+  /// constructed once at BspApp construction and recycled with
+  /// SyncEvent::reset(); counters self-zero when their barrier completes.
+  struct GenSlot {
+    std::unique_ptr<virt::SyncEvent> release;
+    int arrivals = 0;
+    /// Intra-VM shared-memory barriers, one per segment (sync_rounds - 1).
+    std::vector<std::unique_ptr<virt::SyncEvent>> local;
+    std::vector<int> local_arrivals;
+  };
+
   struct VmState {
     virt::Vm* vm = nullptr;
-    std::unordered_map<std::uint64_t, int> arrivals;
-    std::unordered_map<std::uint64_t, std::unique_ptr<virt::SyncEvent>>
-        releases;
-    std::unordered_map<std::uint64_t, int> local_arrivals;
-    std::unordered_map<std::uint64_t, std::unique_ptr<virt::SyncEvent>>
-        local_events;
+    std::array<GenSlot, kGenWindow> gens;
   };
+
+  GenSlot& slot(int vm_index, std::uint64_t gen) {
+    return vms_[static_cast<std::size_t>(vm_index)]
+        .gens[gen & (kGenWindow - 1)];
+  }
 
   net::VirtualNetwork* net_;
   BspConfig cfg_;
@@ -95,7 +118,7 @@ class BspApp {
   std::vector<VmState> vms_;
   std::vector<virt::Vm*> vm_ptrs_;
   std::vector<std::unique_ptr<BspRank>> ranks_;
-  std::unordered_map<std::uint64_t, int> coord_arrivals_;
+  std::array<int, kGenWindow> coord_arrivals_{};
   std::uint64_t supersteps_done_ = 0;
   sim::SimTime superstep_start_ = 0;
   sim::SimTime iter_start_ = 0;

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <stdexcept>
 
 #include "net/network.h"
 #include "sched/credit.h"
@@ -114,6 +115,24 @@ TEST(BspRoundsTest, DeterministicAcrossRuns) {
     return app.supersteps_completed();
   };
   EXPECT_EQ(fingerprint(), fingerprint());
+}
+
+TEST(BspRoundsTest, RejectsOutOfRangeSyncRounds) {
+  Rig rig(2);
+  virt::Vm& vm = rig.platform->create_vm(virt::NodeId{0},
+                                         virt::VmType::kParallel, "bsp-v", 2);
+  const std::vector<virt::Vm*> vms{&vm};
+  for (int rounds : {0, -1, 33, 100}) {
+    EXPECT_THROW(workload::BspApp(*rig.network, vms, cfg_with_rounds(rounds),
+                                  sim::Rng(9), nullptr, nullptr),
+                 std::invalid_argument)
+        << "sync_rounds=" << rounds << " should be rejected";
+  }
+  // Boundaries of the documented [1, 32] range are accepted.
+  EXPECT_NO_THROW(workload::BspApp(*rig.network, vms, cfg_with_rounds(1),
+                                   sim::Rng(9), nullptr, nullptr));
+  EXPECT_NO_THROW(workload::BspApp(*rig.network, vms, cfg_with_rounds(32),
+                                   sim::Rng(9), nullptr, nullptr));
 }
 
 TEST(BspRoundsTest, JitterSpreadsArrivals) {

@@ -1,6 +1,7 @@
 // Metrics tests: recorders, registry warmup reset, table rendering.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <sstream>
 
 #include "metrics/recorders.h"
@@ -17,9 +18,32 @@ TEST(DurationRecorderTest, MeanAndSamples) {
   r.record(30_ms);
   EXPECT_DOUBLE_EQ(r.mean_seconds(), 0.02);
   EXPECT_EQ(r.count(), 2u);
-  ASSERT_EQ(r.samples().size(), 2u);
+  EXPECT_EQ(r.histogram().total(), 2u);
+  EXPECT_DOUBLE_EQ(r.stats().min(), 0.01);
+  EXPECT_DOUBLE_EQ(r.stats().max(), 0.03);
   r.reset();
   EXPECT_EQ(r.count(), 0u);
+  EXPECT_EQ(r.histogram().total(), 0u);
+}
+
+TEST(LogHistogramTest, QuantilesWithinQuantizationBound) {
+  LogHistogram h;
+  for (int i = 1; i <= 1000; ++i) h.add(i * 0.001);  // 1ms .. 1s uniform
+  // Bucket midpoints are within ±1/(2*kSubBuckets) relative error.
+  for (double q : {0.1, 0.25, 0.5, 0.75, 0.9, 0.99}) {
+    const double exact = 0.001 * (1.0 + q * 999.0);
+    EXPECT_NEAR(h.quantile(q), exact, exact * 0.012) << "q=" << q;
+  }
+}
+
+TEST(LogHistogramTest, OutOfRangeSamplesStayCounted) {
+  LogHistogram h;
+  h.add(0.0);     // underflow
+  h.add(-1.0);    // underflow
+  h.add(1e300);   // overflow
+  EXPECT_EQ(h.total(), 3u);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);  // underflow bucket midpoint
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), std::ldexp(1.0, LogHistogram::kMaxExp));
 }
 
 TEST(RateCounterTest, RateAgainstSimTime) {
