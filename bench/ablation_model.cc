@@ -8,7 +8,7 @@
 //                               "tickle"); shrinks CR's I/O waits
 //   * no tick preemption     -> under-served VMs wait whole slices
 //   * coarse jitter          -> straggler spread dominates sub-ms slices
-#include "bench_common.h"
+#include "report_common.h"
 
 using namespace atcsim;
 using namespace atcsim::bench;
@@ -24,12 +24,13 @@ struct Outcome {
 Outcome run(const virt::ModelParams& params) {
   Outcome o{};
   auto one = [&](cluster::Approach a, sim::SimTime forced_slice) {
-    cluster::Scenario::Setup setup;
-    setup.nodes = 4;
-    setup.approach = a;
-    setup.seed = 42;
-    setup.params = params;
-    cluster::Scenario s(setup);
+    auto sp = cluster::ScenarioBuilder{}
+                  .nodes(4)
+                  .approach(a)
+                  .seed(42)
+                  .params(params)
+                  .build();
+    cluster::Scenario& s = *sp;
     cluster::build_type_a(s, "lu", workload::NpbClass::kB);
     s.start();
     if (forced_slice > 0) set_global_guest_slice(s, forced_slice);

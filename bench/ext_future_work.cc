@@ -7,7 +7,7 @@
 //  2. Flexible non-parallel slices (adaptive_nonparallel): web-like VMs are
 //     detected by wake-up rate and given a shorter slice automatically
 //     (instead of the static admin interface), CPU VMs keep the default.
-#include "bench_common.h"
+#include "report_common.h"
 
 using namespace atcsim;
 using namespace atcsim::bench;
@@ -22,12 +22,13 @@ struct Row {
 };
 
 Row run(cluster::Approach a, const atc::AtcConfig& atc_cfg) {
-  cluster::Scenario::Setup setup;
-  setup.nodes = 4;
-  setup.approach = a;
-  setup.seed = 21;
-  setup.atc = atc_cfg;
-  cluster::Scenario s(setup);
+  auto sp = cluster::ScenarioBuilder{}
+                .nodes(4)
+                .approach(a)
+                .seed(21)
+                .atc(atc_cfg)
+                .build();
+  cluster::Scenario& s = *sp;
   // Two 4-VM clusters + web + sphinx3 + two single-VM parallel apps.
   for (int j = 0; j < 2; ++j) {
     auto vms = s.create_cluster_vms("vc" + std::to_string(j), {0, 1, 2, 3});

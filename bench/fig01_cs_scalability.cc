@@ -5,7 +5,7 @@
 // Paper shape: CS's normalized execution time *increases* with cluster size
 // (0.30 at 2 VMs -> 0.44 at 32 VMs): gang dispatch fixes intra-VM stalls but
 // VMs of one cluster on different nodes stay unaligned.
-#include "bench_common.h"
+#include "report_common.h"
 
 using namespace atcsim;
 using namespace atcsim::bench;
@@ -13,11 +13,12 @@ using namespace atcsim::bench;
 namespace {
 
 double run(cluster::Approach a, int nodes) {
-  cluster::Scenario::Setup setup;
-  setup.nodes = nodes;
-  setup.approach = a;
-  setup.seed = 42;
-  cluster::Scenario s(setup);
+  auto sp = cluster::ScenarioBuilder{}
+                .nodes(nodes)
+                .approach(a)
+                .seed(42)
+                .build();
+  cluster::Scenario& s = *sp;
   cluster::build_type_a(s, "lu", workload::NpbClass::kB);
   s.start();
   s.warmup_and_measure(scaled(2_s), scaled(6_s));

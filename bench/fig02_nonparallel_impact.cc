@@ -4,27 +4,28 @@
 // hosting bonnie++, sphinx3, stream and ping.  Paper shape: under CS, ping
 // RTT is ~1.75x CR, sphinx3 ~1.11x slower, stream slightly slower, bonnie++
 // roughly unaffected.
-#include "bench_common.h"
+#include "report_common.h"
 
 using namespace atcsim;
 using namespace atcsim::bench;
 
 namespace {
 
-struct Result {
+struct FigResult {
   double bonnie_mbps = 0;
   double sphinx_rate = 0;
   double stream_mbps = 0;
   double ping_rtt_s = 0;
 };
 
-Result run(cluster::Approach a) {
-  cluster::Scenario::Setup setup;
-  setup.nodes = 2;
-  setup.vms_per_node = 5;  // 3 cluster VMs + 2 app VMs per node
-  setup.approach = a;
-  setup.seed = 7;
-  cluster::Scenario s(setup);
+FigResult run(cluster::Approach a) {
+  auto sp = cluster::ScenarioBuilder{}
+                .nodes(2)
+                .vms_per_node(5)  // 3 cluster VMs + 2 app VMs per node
+                .approach(a)
+                .seed(7)
+                .build();
+  cluster::Scenario& s = *sp;
   for (int j = 0; j < 3; ++j) {
     auto vms = s.create_cluster_vms("vc" + std::to_string(j), {0, 1});
     const auto& apps = workload::npb_apps();
@@ -39,7 +40,7 @@ Result run(cluster::Approach a) {
   s.add_ping_pair(1, 0, "ping");
   s.start();
   s.warmup_and_measure(scaled(2_s), scaled(6_s));
-  Result r;
+  FigResult r;
   r.bonnie_mbps = s.metrics().rate("bonnie").per_second();
   r.sphinx_rate = s.metrics().rate("sphinx3").per_second();
   r.stream_mbps = s.metrics().rate("stream").per_second();
@@ -52,8 +53,8 @@ Result run(cluster::Approach a) {
 int main() {
   banner("Figure 2 — CS impact on non-parallel applications",
          "2 nodes, 3 virtual clusters + bonnie++/sphinx3/stream/ping VMs");
-  const Result cr = run(cluster::Approach::kCR);
-  const Result cs = run(cluster::Approach::kCS);
+  const FigResult cr = run(cluster::Approach::kCR);
+  const FigResult cs = run(cluster::Approach::kCS);
   metrics::Table t("Fig. 2: non-parallel metrics, CS normalized to CR",
                    {"application", "metric", "CR", "CS", "CS/CR"});
   t.add_row({"bonnie++", "throughput (MB/s)", metrics::fmt(cr.bonnie_mbps, 1),

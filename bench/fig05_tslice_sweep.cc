@@ -11,7 +11,7 @@
 // simulations entirely.
 #include <vector>
 
-#include "bench_common.h"
+#include "report_common.h"
 #include "simcore/stats.h"
 
 using namespace atcsim;

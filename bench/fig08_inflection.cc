@@ -12,7 +12,7 @@
 #include <vector>
 
 #include "atc/threshold.h"
-#include "bench_common.h"
+#include "report_common.h"
 #include "cache/xenoprof.h"
 
 using namespace atcsim;
@@ -27,13 +27,15 @@ struct Point {
 };
 
 Point run(const std::string& app, sim::SimTime slice) {
-  cluster::Scenario::Setup setup;
-  setup.nodes = 2;
-  setup.vms_per_node = 4;
-  setup.vcpus_per_vm = 16;
-  setup.approach = cluster::Approach::kCR;
-  setup.seed = 42;
-  cluster::Scenario s(setup);
+  auto sp = cluster::ScenarioBuilder{}
+                .nodes(2)
+                .vms_per_node(4)
+                .vcpus_per_vm(16)
+                .approach(cluster::Approach::kCR)
+                .seed(42)
+                .allow_wide_vms()
+                .build();
+  cluster::Scenario& s = *sp;
   cluster::build_type_a(s, app, workload::NpbClass::kC);
   s.start();
   set_global_guest_slice(s, slice);

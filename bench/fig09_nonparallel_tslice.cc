@@ -4,26 +4,27 @@
 // Paper shape: sphinx3 (CPU-bound) degrades as the slice shrinks (context
 // switches), ping RTT *improves* (the peer gets scheduled sooner), stream
 // suffers slightly (cache flushes).
-#include "bench_common.h"
+#include "report_common.h"
 
 using namespace atcsim;
 using namespace atcsim::bench;
 
 namespace {
 
-struct Result {
+struct FigResult {
   double sphinx_rate;
   double ping_rtt_ms;
   double stream_mbps;
 };
 
-Result run(sim::SimTime slice) {
-  cluster::Scenario::Setup setup;
-  setup.nodes = 2;
-  setup.vms_per_node = 5;
-  setup.approach = cluster::Approach::kCR;
-  setup.seed = 7;
-  cluster::Scenario s(setup);
+FigResult run(sim::SimTime slice) {
+  auto sp = cluster::ScenarioBuilder{}
+                .nodes(2)
+                .vms_per_node(5)
+                .approach(cluster::Approach::kCR)
+                .seed(7)
+                .build();
+  cluster::Scenario& s = *sp;
   for (int j = 0; j < 3; ++j) {
     auto vms = s.create_cluster_vms("vc" + std::to_string(j), {0, 1});
     s.add_bsp_app("vc" + std::to_string(j),
@@ -36,7 +37,7 @@ Result run(sim::SimTime slice) {
   s.start();
   set_global_guest_slice(s, slice);
   s.warmup_and_measure(scaled(2_s), scaled(6_s));
-  return Result{s.metrics().rate("sphinx3").per_second(),
+  return FigResult{s.metrics().rate("sphinx3").per_second(),
                 s.metrics().latency("ping").mean_seconds() * 1e3,
                 s.metrics().rate("stream").per_second()};
 }
@@ -52,7 +53,7 @@ int main() {
                     "ping RTT (ms)", "stream bandwidth (MB/s)"});
   double sphinx_base = 0.0;
   for (sim::SimTime slice : {30_ms, 12_ms, 6_ms, 3_ms, 1_ms, 300_us}) {
-    const Result r = run(slice);
+    const FigResult r = run(slice);
     if (sphinx_base == 0.0) sphinx_base = r.sphinx_rate;
     t.add_row({metrics::fmt_ms(sim::to_millis(slice)),
                metrics::fmt(sphinx_base / r.sphinx_rate),

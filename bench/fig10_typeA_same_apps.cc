@@ -11,7 +11,7 @@
 #include <map>
 #include <utility>
 
-#include "bench_common.h"
+#include "report_common.h"
 
 using namespace atcsim;
 using namespace atcsim::bench;

@@ -5,7 +5,7 @@
 // proportions) each running a random NPB class-B code, the remaining 30 VMs
 // independent (lu/is).  Paper shape (VC1/sp example): ATC 0.25, DSS 0.45,
 // CS 0.49, BS 0.90, CR 1.
-#include "bench_common.h"
+#include "report_common.h"
 #include "cluster/trace.h"
 
 using namespace atcsim;
@@ -19,11 +19,12 @@ struct Run {
 };
 
 Run run(cluster::Approach a) {
-  cluster::Scenario::Setup setup;
-  setup.nodes = 32;
-  setup.approach = a;
-  setup.seed = 42;
-  cluster::Scenario s(setup);
+  auto sp = cluster::ScenarioBuilder{}
+                .nodes(32)
+                .approach(a)
+                .seed(42)
+                .build();
+  cluster::Scenario& s = *sp;
   const cluster::TypeBLayout layout = cluster::build_type_b(s);
   s.start();
   s.warmup_and_measure(scaled(2_s), scaled(5_s));

@@ -104,34 +104,34 @@ BENCHMARK(BM_RngExponential);
 // the figure harnesses' dominant cost.
 void BM_EndToEndAtcScenario(benchmark::State& state) {
   for (auto _ : state) {
-    cluster::Scenario::Setup setup;
-    setup.nodes = 1;
-    setup.vms_per_node = 4;
-    setup.vcpus_per_vm = 4;
-    setup.pcpus_per_node = 4;
-    setup.approach = cluster::Approach::kATC;
-    cluster::Scenario s(setup);
-    cluster::build_type_a(s, "lu", workload::NpbClass::kB);
-    s.start();
-    s.run_for(500_ms);
-    benchmark::DoNotOptimize(s.simulation().events_executed());
+    auto s = cluster::ScenarioBuilder{}
+                 .nodes(1)
+                 .vms_per_node(4)
+                 .vcpus_per_vm(4)
+                 .pcpus_per_node(4)
+                 .approach(cluster::Approach::kATC)
+                 .build();
+    cluster::build_type_a(*s, "lu", workload::NpbClass::kB);
+    s->start();
+    s->run_for(500_ms);
+    benchmark::DoNotOptimize(s->simulation().events_executed());
   }
 }
 BENCHMARK(BM_EndToEndAtcScenario)->Unit(benchmark::kMillisecond);
 
 void BM_EndToEndCreditScenario(benchmark::State& state) {
   for (auto _ : state) {
-    cluster::Scenario::Setup setup;
-    setup.nodes = 1;
-    setup.vms_per_node = 4;
-    setup.vcpus_per_vm = 4;
-    setup.pcpus_per_node = 4;
-    setup.approach = cluster::Approach::kCR;
-    cluster::Scenario s(setup);
-    cluster::build_type_a(s, "lu", workload::NpbClass::kB);
-    s.start();
-    s.run_for(500_ms);
-    benchmark::DoNotOptimize(s.simulation().events_executed());
+    auto s = cluster::ScenarioBuilder{}
+                 .nodes(1)
+                 .vms_per_node(4)
+                 .vcpus_per_vm(4)
+                 .pcpus_per_node(4)
+                 .approach(cluster::Approach::kCR)
+                 .build();
+    cluster::build_type_a(*s, "lu", workload::NpbClass::kB);
+    s->start();
+    s->run_for(500_ms);
+    benchmark::DoNotOptimize(s->simulation().events_executed());
   }
 }
 BENCHMARK(BM_EndToEndCreditScenario)->Unit(benchmark::kMillisecond);
@@ -140,57 +140,63 @@ BENCHMARK(BM_EndToEndCreditScenario)->Unit(benchmark::kMillisecond);
 
 /// Shared runner: items processed = simulator events, so google-benchmark
 /// reports events/sec directly.
-void run_macro(benchmark::State& state, cluster::Scenario::Setup setup,
+void run_macro(benchmark::State& state, const cluster::ScenarioBuilder& builder,
                const char* app, sim::SimTime duration) {
   for (auto _ : state) {
-    cluster::Scenario s(setup);
-    cluster::build_type_a(s, app, workload::NpbClass::kB);
-    s.start();
-    s.run_for(duration);
+    auto s = builder.build();
+    cluster::build_type_a(*s, app, workload::NpbClass::kB);
+    s->start();
+    s->run_for(duration);
     state.SetItemsProcessed(
         state.items_processed() +
-        static_cast<std::int64_t>(s.simulation().events_executed()));
+        static_cast<std::int64_t>(s->events_executed()));
   }
 }
 
 /// 32-node LU sweep cell under ATC: the fig10 shape at type-B scale.
 void BM_MacroLu32Atc(benchmark::State& state) {
-  cluster::Scenario::Setup setup;
-  setup.nodes = 32;
-  setup.pcpus_per_node = 8;
-  setup.vms_per_node = 4;
-  setup.vcpus_per_vm = 8;
-  setup.approach = cluster::Approach::kATC;
-  setup.seed = 7;
-  run_macro(state, setup, "lu", 500_ms);
+  run_macro(state,
+            cluster::ScenarioBuilder{}
+                .nodes(32)
+                .pcpus_per_node(8)
+                .vms_per_node(4)
+                .vcpus_per_vm(8)
+                .approach(cluster::Approach::kATC)
+                .seed(7),
+            "lu", 500_ms);
 }
 BENCHMARK(BM_MacroLu32Atc)->Unit(benchmark::kMillisecond);
 
 /// Cancel-heavy: sub-ms slices multiply slice-timer arm/disarm churn.
 void BM_MacroCancelHeavy(benchmark::State& state) {
-  cluster::Scenario::Setup setup;
-  setup.nodes = 4;
-  setup.pcpus_per_node = 8;
-  setup.vms_per_node = 4;
-  setup.vcpus_per_vm = 8;
-  setup.approach = cluster::Approach::kCR;
-  setup.params.default_time_slice = 300'000;  // 0.3 ms
-  setup.seed = 7;
-  run_macro(state, setup, "lu", 500_ms);
+  virt::ModelParams params;
+  params.default_time_slice = 300'000;  // 0.3 ms
+  run_macro(state,
+            cluster::ScenarioBuilder{}
+                .nodes(4)
+                .pcpus_per_node(8)
+                .vms_per_node(4)
+                .vcpus_per_vm(8)
+                .approach(cluster::Approach::kCR)
+                .params(params)
+                .seed(7),
+            "lu", 500_ms);
 }
 BENCHMARK(BM_MacroCancelHeavy)->Unit(benchmark::kMillisecond);
 
 /// Sync-heavy: 16-VCPU VMs on 8-PCPU nodes under ATC — descheduled
 /// spinners, SyncEvent signalling and adaptive slice churn dominate.
 void BM_MacroSyncHeavy(benchmark::State& state) {
-  cluster::Scenario::Setup setup;
-  setup.nodes = 2;
-  setup.pcpus_per_node = 8;
-  setup.vms_per_node = 4;
-  setup.vcpus_per_vm = 16;
-  setup.approach = cluster::Approach::kATC;
-  setup.seed = 7;
-  run_macro(state, setup, "cg", 500_ms);
+  run_macro(state,
+            cluster::ScenarioBuilder{}
+                .nodes(2)
+                .pcpus_per_node(8)
+                .vms_per_node(4)
+                .vcpus_per_vm(16)
+                .approach(cluster::Approach::kATC)
+                .seed(7)
+                .allow_wide_vms(),
+            "cg", 500_ms);
 }
 BENCHMARK(BM_MacroSyncHeavy)->Unit(benchmark::kMillisecond);
 

@@ -17,7 +17,7 @@
 #include <map>
 #include <vector>
 
-#include "bench_common.h"
+#include "report_common.h"
 
 namespace atcsim::bench {
 

@@ -23,6 +23,7 @@
 //   net_report --label x --append ../BENCH_net.json
 //   net_report --quick                  # 64-node packet path only (CI smoke)
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -149,28 +150,30 @@ Result pkt_path(int nodes, sim::SimTime horizon, int reps) {
 /// End-to-end 512-node type-A cluster under ATC (the same cell
 /// sched_report replays), measured after warm-up: simulator events per wall
 /// second and allocs per event in the steady state of the whole model.
-Result macro_cluster512(int reps) {
+Result macro_cluster512(int reps, int shards) {
   Result r;
   r.wall_s = 1e100;
   for (int i = 0; i < reps; ++i) {
-    cluster::Scenario::Setup setup;
-    setup.nodes = 512;
-    setup.pcpus_per_node = 8;
-    setup.vms_per_node = 4;
-    setup.vcpus_per_vm = 8;
-    setup.approach = cluster::Approach::kATC;
-    setup.seed = 7;
-    cluster::Scenario s(setup);
+    auto sp = cluster::ScenarioBuilder{}
+                  .nodes(512)
+                  .pcpus_per_node(8)
+                  .vms_per_node(4)
+                  .vcpus_per_vm(8)
+                  .approach(cluster::Approach::kATC)
+                  .seed(7)
+                  .shards(shards)
+                  .build();
+    cluster::Scenario& s = *sp;
     cluster::build_type_a(s, "lu", workload::NpbClass::kB);
     s.start();
     s.run_for(50_ms);  // warm-up: all pools, rings and mailboxes sized
-    const std::uint64_t e0 = s.simulation().events_executed();
+    const std::uint64_t e0 = s.events_executed();
     const std::uint64_t a0 = rb::g_allocs.load(std::memory_order_relaxed);
     const auto t0 = rb::Clock::now();
     s.run_for(250_ms);
     const double secs =
         std::chrono::duration<double>(rb::Clock::now() - t0).count();
-    const std::uint64_t n = s.simulation().events_executed() - e0;
+    const std::uint64_t n = s.events_executed() - e0;
     const std::uint64_t allocs =
         rb::g_allocs.load(std::memory_order_relaxed) - a0;
     if (secs < r.wall_s) {
@@ -190,6 +193,7 @@ int main(int argc, char** argv) {
   std::string label = "dev";
   std::string append_path;
   bool quick = false;
+  int shards = 1;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     if (a == "--label" && i + 1 < argc) {
@@ -198,10 +202,12 @@ int main(int argc, char** argv) {
       append_path = argv[++i];
     } else if (a == "--quick") {
       quick = true;  // 64-node packet path only (CI smoke on tiny runners)
+    } else if (a == "--shards" && i + 1 < argc) {
+      shards = std::atoi(argv[++i]);  // macro cell PDES shard count
     } else {
       std::fprintf(stderr,
                    "usage: %s [--label str] [--append BENCH_net.json] "
-                   "[--quick]\n",
+                   "[--quick] [--shards K]\n",
                    argv[0]);
       return 2;
     }
@@ -215,7 +221,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "net_report: pkt_path_n512...\n");
     p512 = pkt_path(512, 50_ms, 2);
     std::fprintf(stderr, "net_report: macro_cluster512_atc...\n");
-    macro512 = macro_cluster512(2);
+    macro512 = macro_cluster512(2, shards);
   }
 
   std::ostringstream run;

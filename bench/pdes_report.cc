@@ -1,0 +1,181 @@
+// pdes_report: tracked speedup trajectory for the sharded conservative-PDES
+// engine (DESIGN.md §10) on the cluster-scale macro.
+//
+// The workload is the paper's 512-node type-A evaluation cell (four LU.B
+// virtual clusters per node group, ATC controllers, full network) run
+// through cluster::ScenarioBuilder at shards = 1, 2, 4 and 8.  For every
+// shard count the report records both:
+//
+//  * measured — events per wall second on this host.  On a machine with
+//    fewer cores than shards the round phases serialize, so this number
+//    mostly shows that sharding costs little even when it cannot win;
+//  * projected — the same run re-timed on the critical path: the
+//    ShardGroup accounts, per round, the summed advance time of all shards
+//    (serial_s) and the slowest single shard (critical_s), so
+//    `projected_wall_s = wall_s - serial_s + critical_s` is the wall time a
+//    host with >= K free cores cannot beat and a perfectly balanced one
+//    achieves.  "speedup_projected.sK" = measured s1 wall / projected sK
+//    wall.
+//
+//   pdes_report                         # print the run record to stdout
+//   pdes_report --label x --append ../BENCH_pdes.json
+//   pdes_report --quick                 # 128 nodes, shards {1,2} (CI smoke)
+//   pdes_report --shards 4              # cap the shard sweep
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "report_common.h"
+#include "simcore/shard.h"
+
+namespace {
+
+using namespace atcsim;
+namespace rb = atcsim::bench;
+using namespace sim::time_literals;
+
+struct ShardRun {
+  int shards = 1;
+  std::uint64_t events = 0;
+  double wall_s = 0;            // best-of-N measured wall (this host)
+  std::uint64_t rounds = 0;
+  double critical_s = 0;        // sum over rounds of the slowest shard
+  double serial_s = 0;          // sum over rounds of all shards' advance work
+  double projected_wall_s = 0;  // wall_s - serial_s + critical_s
+};
+
+/// One timed execution of the macro at `shards`; construction/teardown of
+/// the K engine stacks stays outside the timed window.
+ShardRun run_macro(int shards, int nodes, sim::SimTime duration, int reps) {
+  ShardRun best;
+  best.shards = shards;
+  best.wall_s = 1e100;
+  for (int rep = 0; rep < reps; ++rep) {
+    auto s = cluster::ScenarioBuilder{}
+                 .nodes(nodes)
+                 .pcpus_per_node(8)
+                 .vms_per_node(4)
+                 .vcpus_per_vm(8)
+                 .approach(cluster::Approach::kATC)
+                 .seed(7)
+                 .shards(shards)
+                 .build();
+    cluster::build_type_a(*s, "lu", workload::NpbClass::kB);
+    s->start();
+    const auto t0 = rb::Clock::now();
+    s->run_for(duration);
+    const double wall =
+        std::chrono::duration<double>(rb::Clock::now() - t0).count();
+    if (wall < best.wall_s) {
+      best.wall_s = wall;
+      best.events = s->events_executed();
+      if (const sim::ShardGroup* g = s->shard_group()) {
+        best.rounds = g->stats().rounds;
+        best.critical_s = g->stats().critical_s;
+        best.serial_s = g->stats().serial_s;
+      }
+    }
+  }
+  // Unsharded runs have no round accounting: the projection is the
+  // measurement.  (critical_s <= serial_s always, so projected <= wall.)
+  best.projected_wall_s = best.wall_s - best.serial_s + best.critical_s;
+  return best;
+}
+
+void emit_shard_run(std::ostringstream& os, int nodes, const ShardRun& r,
+                    bool last) {
+  const double per_sec =
+      r.wall_s > 0 ? static_cast<double>(r.events) / r.wall_s : 0;
+  const double projected_per_sec =
+      r.projected_wall_s > 0
+          ? static_cast<double>(r.events) / r.projected_wall_s
+          : 0;
+  os << "      \"macro_lu" << nodes << "_s" << r.shards
+     << "\": {\"per_sec\": " << rb::json_number(per_sec)
+     << ", \"events\": " << r.events
+     << ", \"wall_s\": " << rb::json_number(r.wall_s)
+     << ", \"rounds\": " << r.rounds
+     << ", \"critical_s\": " << rb::json_number(r.critical_s)
+     << ", \"serial_s\": " << rb::json_number(r.serial_s)
+     << ", \"projected_wall_s\": " << rb::json_number(r.projected_wall_s)
+     << ", \"projected_per_sec\": " << rb::json_number(projected_per_sec)
+     << "}" << (last ? "\n" : ",\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string label = "dev";
+  std::string append_path;
+  bool quick = false;
+  int max_shards = 8;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--label" && i + 1 < argc) {
+      label = argv[++i];
+    } else if (a == "--append" && i + 1 < argc) {
+      append_path = argv[++i];
+    } else if (a == "--quick") {
+      quick = true;  // small macro, shards {1,2}: CI smoke on tiny runners
+    } else if (a == "--shards" && i + 1 < argc) {
+      max_shards = std::atoi(argv[++i]);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--label str] [--append BENCH_pdes.json] "
+                   "[--quick] [--shards K]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  const int nodes = quick ? 128 : 512;
+  const sim::SimTime duration = quick ? 100_ms : 250_ms;
+  const int reps = quick ? 1 : 2;
+  if (quick && max_shards > 2) max_shards = 2;
+
+  std::vector<ShardRun> runs;
+  for (int shards : {1, 2, 4, 8}) {
+    if (shards > max_shards) break;
+    std::fprintf(stderr, "pdes_report: macro_lu%d_s%d...\n", nodes, shards);
+    runs.push_back(run_macro(shards, nodes, duration, reps));
+  }
+
+  std::ostringstream run;
+  run << "    {\n"
+      << "      \"label\": \"" << label << "\",\n"
+      << "      \"date\": \"" << rb::iso_now() << "\",\n"
+      << "      \"build_type\": \"" << ATCSIM_BUILD_TYPE << "\",\n"
+      << "      \"host_cores\": " << std::thread::hardware_concurrency()
+      << ",\n"
+      << "      \"nodes\": " << nodes << ",\n"
+      << "      \"sim_ms\": " << duration / 1'000'000 << ",\n"
+      << "      \"methodology\": \"projected_wall_s = wall_s - serial_s + "
+         "critical_s: the summed advance time of all shards is replaced by "
+         "the per-round slowest shard, the span a host with >= K cores "
+         "cannot beat; measured numbers are from this host_cores host\",\n";
+  for (const ShardRun& r : runs) emit_shard_run(run, nodes, r, false);
+  const double base_wall = runs.front().wall_s;
+  run << "      \"speedup_measured\": {";
+  for (std::size_t i = 1; i < runs.size(); ++i) {
+    run << (i > 1 ? ", " : "") << "\"s" << runs[i].shards
+        << "\": " << rb::json_number(base_wall / runs[i].wall_s);
+  }
+  run << "},\n      \"speedup_projected\": {";
+  for (std::size_t i = 1; i < runs.size(); ++i) {
+    run << (i > 1 ? ", " : "") << "\"s" << runs[i].shards
+        << "\": " << rb::json_number(base_wall / runs[i].projected_wall_s);
+  }
+  run << "}\n    }";
+
+  if (append_path.empty()) {
+    std::printf("%s\n", run.str().c_str());
+    return 0;
+  }
+  rb::append_history(append_path, run.str(), "pdes");
+  std::fprintf(stderr, "pdes_report: wrote %s\n", append_path.c_str());
+  return 0;
+}

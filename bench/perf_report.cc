@@ -129,18 +129,18 @@ Result macro_event_throughput() {
 /// engine/scheduler/network model in the loop.
 Result macro_lu32(cluster::Approach approach) {
   return rb::bench(3, [approach]() -> std::uint64_t {
-    cluster::Scenario::Setup setup;
-    setup.nodes = 32;
-    setup.pcpus_per_node = 8;
-    setup.vms_per_node = 4;
-    setup.vcpus_per_vm = 8;
-    setup.approach = approach;
-    setup.seed = 7;
-    cluster::Scenario s(setup);
-    cluster::build_type_a(s, "lu", workload::NpbClass::kB);
-    s.start();
-    s.run_for(3_s);
-    return s.simulation().events_executed();
+    auto s = cluster::ScenarioBuilder{}
+                 .nodes(32)
+                 .pcpus_per_node(8)
+                 .vms_per_node(4)
+                 .vcpus_per_vm(8)
+                 .approach(approach)
+                 .seed(7)
+                 .build();
+    cluster::build_type_a(*s, "lu", workload::NpbClass::kB);
+    s->start();
+    s->run_for(3_s);
+    return s->events_executed();
   });
 }
 
@@ -148,19 +148,21 @@ Result macro_lu32(cluster::Approach approach) {
 /// churn per unit of guest progress.
 Result macro_cancel_heavy() {
   return rb::bench(3, []() -> std::uint64_t {
-    cluster::Scenario::Setup setup;
-    setup.nodes = 4;
-    setup.pcpus_per_node = 8;
-    setup.vms_per_node = 4;
-    setup.vcpus_per_vm = 8;
-    setup.approach = cluster::Approach::kCR;
-    setup.params.default_time_slice = 300'000;  // 0.3 ms
-    setup.seed = 7;
-    cluster::Scenario s(setup);
-    cluster::build_type_a(s, "lu", workload::NpbClass::kB);
-    s.start();
-    s.run_for(1_s);
-    return s.simulation().events_executed();
+    virt::ModelParams params;
+    params.default_time_slice = 300'000;  // 0.3 ms
+    auto s = cluster::ScenarioBuilder{}
+                 .nodes(4)
+                 .pcpus_per_node(8)
+                 .vms_per_node(4)
+                 .vcpus_per_vm(8)
+                 .approach(cluster::Approach::kCR)
+                 .params(params)
+                 .seed(7)
+                 .build();
+    cluster::build_type_a(*s, "lu", workload::NpbClass::kB);
+    s->start();
+    s->run_for(1_s);
+    return s->events_executed();
   });
 }
 
@@ -169,18 +171,19 @@ Result macro_cancel_heavy() {
 /// adaptive slice-timer churn dominate.
 Result macro_sync_heavy() {
   return rb::bench(3, []() -> std::uint64_t {
-    cluster::Scenario::Setup setup;
-    setup.nodes = 2;
-    setup.pcpus_per_node = 8;
-    setup.vms_per_node = 4;
-    setup.vcpus_per_vm = 16;  // wide VMs: heavy spin/sync pressure
-    setup.approach = cluster::Approach::kATC;
-    setup.seed = 7;
-    cluster::Scenario s(setup);
-    cluster::build_type_a(s, "cg", workload::NpbClass::kB);
-    s.start();
-    s.run_for(3_s);
-    return s.simulation().events_executed();
+    auto s = cluster::ScenarioBuilder{}
+                 .nodes(2)
+                 .pcpus_per_node(8)
+                 .vms_per_node(4)
+                 .vcpus_per_vm(16)  // wide VMs: heavy spin/sync pressure
+                 .approach(cluster::Approach::kATC)
+                 .seed(7)
+                 .allow_wide_vms()
+                 .build();
+    cluster::build_type_a(*s, "cg", workload::NpbClass::kB);
+    s->start();
+    s->run_for(3_s);
+    return s->events_executed();
   });
 }
 

@@ -1,10 +1,13 @@
-// Shared scaffolding for the tracked perf-report binaries (perf_report,
-// sched_report): a global operator-new allocation counter, the best-of-N
-// bench harness, and the JSON run-record / history-append emitters.
+// Shared scaffolding for every bench binary: the figure-harness wrapper
+// (scale/banner/slice helpers re-exported from the experiment-runner
+// library) plus, for the tracked perf-report binaries (perf_report,
+// sched_report, net_report, pdes_report), a global operator-new allocation
+// counter, the best-of-N bench harness, and the JSON run-record /
+// history-append emitters.
 //
 // This header DEFINES the replacement global operator new/delete (they may
 // not be inline, per [replacement.functions]), so it must be included from
-// exactly one translation unit per binary.  Every report is a single-TU
+// exactly one translation unit per binary.  Every bench is a single-TU
 // executable, which is what makes this layout workable.
 #pragma once
 
@@ -15,9 +18,17 @@
 #include <cstdlib>
 #include <ctime>
 #include <fstream>
+#include <iostream>
 #include <new>
 #include <sstream>
 #include <string>
+
+#include "cluster/scenario.h"
+#include "cluster/scenarios.h"
+#include "exp/bench_util.h"
+#include "exp/emit.h"
+#include "exp/runner.h"
+#include "metrics/report.h"
 
 namespace atcsim::bench {
 inline std::atomic<std::uint64_t> g_allocs{0};
@@ -35,6 +46,13 @@ void operator delete(void* p, std::size_t) noexcept { std::free(p); }
 void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace atcsim::bench {
+
+using namespace sim::time_literals;
+
+using exp::banner;
+using exp::scale_factor;
+using exp::scaled;
+using exp::set_global_guest_slice;
 
 using Clock = std::chrono::steady_clock;
 

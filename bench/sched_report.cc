@@ -22,6 +22,7 @@
 //   sched_report --label x --append ../BENCH_sched.json
 //   sched_report --quick               # 512-node op replay only (CI smoke)
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -258,20 +259,22 @@ Result bench_replay(NodeFixture& fx, int nodes, std::uint64_t* fingerprint) {
 
 /// End-to-end 512-node type-A cluster under ATC: the cluster-scale sweep
 /// cell the indexed run queues exist for, with the whole model in the loop.
-Result macro_cluster512() {
-  return rb::bench(2, []() -> std::uint64_t {
-    cluster::Scenario::Setup setup;
-    setup.nodes = 512;
-    setup.pcpus_per_node = 8;
-    setup.vms_per_node = 4;
-    setup.vcpus_per_vm = 8;
-    setup.approach = cluster::Approach::kATC;
-    setup.seed = 7;
-    cluster::Scenario s(setup);
-    cluster::build_type_a(s, "lu", workload::NpbClass::kB);
-    s.start();
-    s.run_for(250_ms);
-    return s.simulation().events_executed();
+/// `shards` > 1 runs the same macro through the conservative-PDES path.
+Result macro_cluster512(int shards) {
+  return rb::bench(2, [shards]() -> std::uint64_t {
+    auto s = cluster::ScenarioBuilder{}
+                 .nodes(512)
+                 .pcpus_per_node(8)
+                 .vms_per_node(4)
+                 .vcpus_per_vm(8)
+                 .approach(cluster::Approach::kATC)
+                 .seed(7)
+                 .shards(shards)
+                 .build();
+    cluster::build_type_a(*s, "lu", workload::NpbClass::kB);
+    s->start();
+    s->run_for(250_ms);
+    return s->events_executed();
   });
 }
 
@@ -281,6 +284,7 @@ int main(int argc, char** argv) {
   std::string label = "dev";
   std::string append_path;
   bool quick = false;
+  int shards = 1;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     if (a == "--label" && i + 1 < argc) {
@@ -289,10 +293,12 @@ int main(int argc, char** argv) {
       append_path = argv[++i];
     } else if (a == "--quick") {
       quick = true;  // 512-node op replay only (CI smoke on tiny runners)
+    } else if (a == "--shards" && i + 1 < argc) {
+      shards = std::atoi(argv[++i]);  // macro cell PDES shard count
     } else {
       std::fprintf(stderr,
                    "usage: %s [--label str] [--append BENCH_sched.json] "
-                   "[--quick]\n",
+                   "[--quick] [--shards K]\n",
                    argv[0]);
       return 2;
     }
@@ -325,7 +331,7 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::fprintf(stderr, "sched_report: macro_cluster512_atc...\n");
-    macro512 = macro_cluster512();
+    macro512 = macro_cluster512(shards);
   }
 
   std::ostringstream run;

@@ -35,6 +35,7 @@ struct Args {
   double measure_s = 5.0;
   std::optional<double> slice_ms;  // fixed global slice (overrides approach)
   std::uint64_t seed = 42;
+  int shards = 1;
   int reps = 1;
   std::size_t threads = 0;
   bool csv = false;
@@ -50,8 +51,12 @@ void usage() {
       "usage: atcsim_cli [--app lu|is|sp|bt|mg|cg] [--class A|B|C]\n"
       "                  [--nodes N] [--vcpus N] [--approach CR|CS|BS|DSS|VS|ATC]\n"
       "                  [--slice-ms X] [--warmup-s X] [--measure-s X]\n"
-      "                  [--seed N] [--reps N] [--threads N] [--no-cache]\n"
-      "                  [--auto-classify] [--csv] [--jsonl PATH] [--trace]\n"
+      "                  [--seed N] [--shards K] [--reps N] [--threads N]\n"
+      "                  [--no-cache] [--auto-classify] [--csv]\n"
+      "                  [--jsonl PATH] [--trace]\n"
+      "  --shards: partition the hosts across K event-queue shards and run\n"
+      "            them as a conservative parallel simulation (default 1,\n"
+      "            the serial engine)\n"
       "  --trace: record a structured trace + run the invariant checker per\n"
       "           repetition; writes <label>.trace (compact) and <label>.json\n"
       "           (chrome://tracing) under $ATCSIM_TRACE_DIR or ./traces/\n");
@@ -106,6 +111,10 @@ std::optional<Args> parse(int argc, char** argv) {
       const char* v = value();
       if (v == nullptr) return std::nullopt;
       a.seed = static_cast<std::uint64_t>(std::atoll(v));
+    } else if (flag == "--shards") {
+      const char* v = value();
+      if (v == nullptr) return std::nullopt;
+      a.shards = std::atoi(v);
     } else if (flag == "--reps") {
       const char* v = value();
       if (v == nullptr) return std::nullopt;
@@ -130,7 +139,8 @@ std::optional<Args> parse(int argc, char** argv) {
       return std::nullopt;
     }
   }
-  if (a.nodes <= 0 || a.vcpus <= 0 || a.measure_s <= 0 || a.reps <= 0) {
+  if (a.nodes <= 0 || a.vcpus <= 0 || a.measure_s <= 0 || a.reps <= 0 ||
+      a.shards <= 0) {
     return std::nullopt;
   }
   return a;
@@ -168,6 +178,7 @@ int main(int argc, char** argv) {
   spec.slices = {args->slice_ms ? sim::from_millis(*args->slice_ms)
                                 : exp::kAdaptiveSlice};
   spec.seeds = {args->seed};
+  spec.shards = args->shards;
   spec.repetitions = args->reps;
   spec.warmup = static_cast<sim::SimTime>(args->warmup_s * 1e9);
   spec.measure = static_cast<sim::SimTime>(args->measure_s * 1e9);

@@ -28,12 +28,13 @@ struct Row {
 };
 
 Row run(cluster::Approach a, sim::SimTime admin_slice) {
-  cluster::Scenario::Setup setup;
-  setup.nodes = 2;
-  setup.vms_per_node = 4;
-  setup.approach = a;
-  setup.seed = 11;
-  cluster::Scenario s(setup);
+  auto sp = cluster::ScenarioBuilder{}
+                .nodes(2)
+                .vms_per_node(4)
+                .approach(a)
+                .seed(11)
+                .build();
+  cluster::Scenario& s = *sp;
   // One 2-VM virtual cluster (cg.B) spanning the nodes...
   auto vms = s.create_cluster_vms("cluster", {0, 1});
   s.add_bsp_app("cluster", workload::npb_profile("cg", workload::NpbClass::kB),

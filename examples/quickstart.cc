@@ -24,15 +24,15 @@ struct RunResult {
 };
 
 RunResult run(cluster::Approach approach) {
-  cluster::Scenario::Setup setup;
-  setup.nodes = 2;
-  setup.vms_per_node = 4;
-  setup.vcpus_per_vm = 8;
-  setup.pcpus_per_node = 8;
-  setup.approach = approach;
-  setup.seed = 42;
-
-  cluster::Scenario s(setup);
+  auto sp = cluster::ScenarioBuilder{}
+                .nodes(2)
+                .vms_per_node(4)
+                .vcpus_per_vm(8)
+                .pcpus_per_node(8)
+                .approach(approach)
+                .seed(42)
+                .build();
+  cluster::Scenario& s = *sp;
   cluster::build_type_a(s, "lu", workload::NpbClass::kB);
   s.start();
   s.warmup_and_measure(/*warmup=*/2_s, /*measure=*/4_s);

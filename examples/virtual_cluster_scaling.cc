@@ -34,11 +34,12 @@ struct Cell {
 };
 
 Cell run(const std::string& app, cluster::Approach a, int nodes) {
-  cluster::Scenario::Setup setup;
-  setup.nodes = nodes;
-  setup.approach = a;
-  setup.seed = 2026;
-  cluster::Scenario s(setup);
+  auto sp = cluster::ScenarioBuilder{}
+                .nodes(nodes)
+                .approach(a)
+                .seed(2026)
+                .build();
+  cluster::Scenario& s = *sp;
   cluster::build_type_a(s, app, workload::NpbClass::kB);
   s.start();
   s.warmup_and_measure(2_s, 4_s);
@@ -54,11 +55,12 @@ void run_large(const std::string& app, int nodes) {
                     "avg spin latency (ms)", "sim events", "events/s wall"});
   for (cluster::Approach a :
        {cluster::Approach::kCR, cluster::Approach::kATC}) {
-    cluster::Scenario::Setup setup;
-    setup.nodes = nodes;
-    setup.approach = a;
-    setup.seed = 2026;
-    cluster::Scenario s(setup);
+    auto sp = cluster::ScenarioBuilder{}
+                  .nodes(nodes)
+                  .approach(a)
+                  .seed(2026)
+                  .build();
+    cluster::Scenario& s = *sp;
     cluster::build_type_a(s, app, workload::NpbClass::kB);
     s.start();
     const auto t0 = std::chrono::steady_clock::now();

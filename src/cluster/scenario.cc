@@ -1,5 +1,6 @@
 #include "cluster/scenario.h"
 
+#include <algorithm>
 #include <cassert>
 #include <stdexcept>
 #include <string>
@@ -8,28 +9,118 @@ namespace atcsim::cluster {
 
 using sim::SimTime;
 
-Scenario::Scenario(Setup setup) : setup_(setup), metrics_(simulation_) {
-  virt::PlatformConfig pc;
-  pc.nodes = setup_.nodes;
-  pc.pcpus_per_node = setup_.pcpus_per_node;
-  pc.params = setup_.params;
-  pc.seed = setup_.seed;
-  platform_ = std::make_unique<virt::Platform>(simulation_, pc);
-  network_ = std::make_unique<net::VirtualNetwork>(*platform_);
-  network_->attach();
-  monitor_ = std::make_unique<sync::PeriodMonitor>(*platform_);
+/// Shard-local executor: one Simulation + fabric port, run by the
+/// ShardGroup's round protocol.
+class Scenario::ShardExec final : public sim::ShardExecutor {
+ public:
+  ShardExec(sim::Simulation& simulation, net::ShardFabric& fabric, int id)
+      : sim_(&simulation), fabric_(&fabric), id_(id) {}
+
+  int shard_id() const override { return id_; }
+  sim::SimTime next_event_time() const override {
+    return sim_->next_event_time();
+  }
+  void deliver_inbound() override { fabric_->deliver_to(id_); }
+  std::uint64_t advance_to(sim::SimTime horizon) override {
+    return sim_->run_until(horizon);
+  }
+
+ private:
+  sim::Simulation* sim_;
+  net::ShardFabric* fabric_;
+  int id_;
+};
+
+Scenario::Scenario(ScenarioConfig config) : config_(config) {
+  const int shards = config_.shards;
+  if (shards > 1) {
+    // Scheduling randomness must be a function of the global node id, or
+    // the shard map would leak into every dispatch decision.
+    config_.params.per_node_streams = true;
+  }
+  app_rng_ = sim::Rng(config_.seed);
+
+  // Contiguous balanced node blocks: shard k owns base + (k < rem ? 1 : 0)
+  // nodes starting at k * base + min(k, rem).
+  const int base = config_.nodes / shards;
+  const int rem = config_.nodes % shards;
+  int first = 0;
+  stacks_.reserve(static_cast<std::size_t>(shards));
+  for (int k = 0; k < shards; ++k) {
+    auto stack = std::make_unique<ShardStack>();
+    stack->first_node = first;
+    stack->node_count = base + (k < rem ? 1 : 0);
+    virt::PlatformConfig pc;
+    pc.nodes = stack->node_count;
+    pc.pcpus_per_node = config_.pcpus_per_node;
+    pc.params = config_.params;
+    pc.seed = config_.seed;
+    pc.node_id_offset = first;
+    stack->platform =
+        std::make_unique<virt::Platform>(stack->simulation, pc);
+    stack->network = std::make_unique<net::VirtualNetwork>(*stack->platform);
+    stack->network->attach();
+    stack->monitor = std::make_unique<sync::PeriodMonitor>(*stack->platform);
+    first += stack->node_count;
+    stacks_.push_back(std::move(stack));
+  }
+  metrics_ =
+      std::make_unique<metrics::MetricsRegistry>(stacks_[0]->simulation);
+
+  if (shards > 1) {
+    fabric_ = std::make_unique<net::ShardFabric>(
+        shards, config_.params.pdes_mailbox_slots);
+    for (int k = 0; k < shards; ++k) {
+      fabric_->bind(k, *stacks_[static_cast<std::size_t>(k)]->network);
+    }
+  }
 }
 
 Scenario::~Scenario() = default;
+
+int Scenario::shard_of_node(int node) const {
+  assert(node >= 0 && node < config_.nodes);
+  const int shards = config_.shards;
+  const int base = config_.nodes / shards;
+  const int rem = config_.nodes % shards;
+  // First `rem` shards have base+1 nodes; invert the block layout.
+  const int big_span = (base + 1) * rem;
+  if (node < big_span) return node / (base + 1);
+  return rem + (node - big_span) / base;
+}
+
+virt::Platform& Scenario::platform_of_node(int node) {
+  return *stacks_[static_cast<std::size_t>(shard_of_node(node))]->platform;
+}
+
+virt::NodeId Scenario::local_node_id(int node) const {
+  const auto& stack = *stacks_[static_cast<std::size_t>(shard_of_node(node))];
+  return virt::NodeId{node - stack.first_node};
+}
+
+sim::Rng& Scenario::app_rng() {
+  // At shards = 1 the platform stream must keep advancing through these
+  // splits exactly as it always has (the scheduler's attach-time split
+  // consumes its state later); sharded runs use a scenario-owned stream
+  // that produces the identical split sequence, since nothing else draws
+  // from either stream during construction.
+  return config_.shards == 1 ? stacks_[0]->platform->rng() : app_rng_;
+}
+
+net::VirtualNetwork& Scenario::net_of(virt::Vm& vm) {
+  net::VirtualNetwork* net = vm.node().platform().network();
+  assert(net != nullptr);
+  return *net;
+}
 
 std::vector<virt::Vm*> Scenario::create_cluster_vms(
     const std::string& name, const std::vector<int>& node_for_vm) {
   std::vector<virt::Vm*> vms;
   vms.reserve(node_for_vm.size());
   for (std::size_t i = 0; i < node_for_vm.size(); ++i) {
-    virt::Vm& vm = platform_->create_vm(
-        virt::NodeId{node_for_vm[i]}, virt::VmType::kParallel,
-        name + "-vm" + std::to_string(i), setup_.vcpus_per_vm);
+    virt::Vm& vm = platform_of_node(node_for_vm[i]).create_vm(
+        local_node_id(node_for_vm[i]), virt::VmType::kParallel,
+        name + "-vm" + std::to_string(i), config_.vcpus_per_vm);
     // Parallel VMs are network-driven: vSlicer's admin marks them LS.
     vm.set_latency_sensitive(true);
     vms.push_back(&vm);
@@ -41,21 +132,20 @@ workload::BspApp& Scenario::add_bsp_app(const std::string& key,
                                         const workload::BspConfig& cfg,
                                         std::vector<virt::Vm*> vms) {
   assert(!started_);
-  auto& superstep = metrics_.durations(key + "/superstep");
-  auto& iteration = metrics_.durations(key + "/iteration");
+  auto& superstep = metrics_->durations(key + "/superstep");
+  auto& iteration = metrics_->durations(key + "/iteration");
   bsp_apps_.push_back(std::make_unique<workload::BspApp>(
-      *network_, std::move(vms), cfg,
-      platform_->rng().split(std::hash<std::string>{}(key)), &superstep,
-      &iteration));
+      std::move(vms), cfg, app_rng().split(std::hash<std::string>{}(key)),
+      &superstep, &iteration));
   bsp_apps_.back()->attach();
   bsp_keys_.push_back(key);
   return *bsp_apps_.back();
 }
 
 void Scenario::add_identical_clusters(const workload::BspConfig& cfg) {
-  for (int j = 0; j < setup_.vms_per_node; ++j) {
+  for (int j = 0; j < config_.vms_per_node; ++j) {
     std::vector<int> placement;
-    for (int n = 0; n < setup_.nodes; ++n) placement.push_back(n);
+    for (int n = 0; n < config_.nodes; ++n) placement.push_back(n);
     auto vms = create_cluster_vms(cfg.name + "-vc" + std::to_string(j),
                                   placement);
     add_bsp_app(cfg.name + "/vc" + std::to_string(j), cfg, std::move(vms));
@@ -66,23 +156,24 @@ virt::Vm& Scenario::add_cpu_vm(int node,
                                const workload::CpuBoundWorkload::Config& cfg,
                                const std::string& key) {
   assert(!started_);
-  virt::Vm& vm = platform_->create_vm(virt::NodeId{node},
-                                      virt::VmType::kNonParallel,
-                                      key, setup_.vcpus_per_vm);
+  virt::Vm& vm = platform_of_node(node).create_vm(
+      local_node_id(node), virt::VmType::kNonParallel, key,
+      config_.vcpus_per_vm);
   workloads_.push_back(std::make_unique<workload::CpuBoundWorkload>(
-      cfg, platform_->rng().split(std::hash<std::string>{}(key)),
-      &metrics_.rate(key)));
+      cfg, app_rng().split(std::hash<std::string>{}(key)),
+      &metrics_->rate(key)));
   vm.vcpus()[0]->set_workload(workloads_.back().get());
   return vm;
 }
 
 virt::Vm& Scenario::add_disk_vm(int node, const std::string& key) {
   assert(!started_);
-  virt::Vm& vm = platform_->create_vm(virt::NodeId{node},
-                                      virt::VmType::kNonParallel, key,
-                                      setup_.vcpus_per_vm);
+  virt::Vm& vm = platform_of_node(node).create_vm(
+      local_node_id(node), virt::VmType::kNonParallel, key,
+      config_.vcpus_per_vm);
   workloads_.push_back(std::make_unique<workload::DiskWorkload>(
-      *network_, vm, workload::DiskWorkload::Config{}, &metrics_.rate(key)));
+      net_of(vm), vm, workload::DiskWorkload::Config{},
+      &metrics_->rate(key)));
   vm.vcpus()[0]->set_workload(workloads_.back().get());
   return vm;
 }
@@ -90,20 +181,20 @@ virt::Vm& Scenario::add_disk_vm(int node, const std::string& key) {
 virt::Vm& Scenario::add_ping_pair(int node_a, int node_b,
                                   const std::string& key) {
   assert(!started_);
-  virt::Vm& pinger = platform_->create_vm(virt::NodeId{node_a},
-                                          virt::VmType::kNonParallel, key,
-                                          setup_.vcpus_per_vm);
-  virt::Vm& peer = platform_->create_vm(virt::NodeId{node_b},
-                                        virt::VmType::kNonParallel,
-                                        key + "-peer", setup_.vcpus_per_vm);
+  virt::Vm& pinger = platform_of_node(node_a).create_vm(
+      local_node_id(node_a), virt::VmType::kNonParallel, key,
+      config_.vcpus_per_vm);
+  virt::Vm& peer = platform_of_node(node_b).create_vm(
+      local_node_id(node_b), virt::VmType::kNonParallel, key + "-peer",
+      config_.vcpus_per_vm);
   pinger.set_latency_sensitive(true);
   peer.set_latency_sensitive(true);
   workloads_.push_back(std::make_unique<workload::PingWorkload>(
-      *network_, pinger, peer, workload::PingWorkload::Config{},
-      &metrics_.latency(key)));
+      net_of(pinger), pinger, peer, workload::PingWorkload::Config{},
+      &metrics_->latency(key)));
   pinger.vcpus()[0]->set_workload(workloads_.back().get());
-  workloads_.push_back(
-      std::make_unique<workload::IdleServerWorkload>(platform_->engine()));
+  workloads_.push_back(std::make_unique<workload::IdleServerWorkload>(
+      peer.node().platform().engine()));
   peer.vcpus()[0]->set_workload(workloads_.back().get());
   return pinger;
 }
@@ -111,79 +202,132 @@ virt::Vm& Scenario::add_ping_pair(int node_a, int node_b,
 virt::Vm& Scenario::add_web_vm(int node, double requests_per_second,
                                const std::string& key) {
   assert(!started_);
-  virt::Vm& vm = platform_->create_vm(virt::NodeId{node},
-                                      virt::VmType::kNonParallel, key,
-                                      setup_.vcpus_per_vm);
+  virt::Vm& vm = platform_of_node(node).create_vm(
+      local_node_id(node), virt::VmType::kNonParallel, key,
+      config_.vcpus_per_vm);
   vm.set_latency_sensitive(true);
   auto server = std::make_unique<workload::WebServerWorkload>(
-      *network_, vm, workload::WebServerWorkload::Config{},
-      &metrics_.latency(key),
-      platform_->rng().split(std::hash<std::string>{}(key)));
+      net_of(vm), vm, workload::WebServerWorkload::Config{},
+      &metrics_->latency(key),
+      app_rng().split(std::hash<std::string>{}(key)));
   vm.vcpus()[0]->set_workload(server.get());
   workload::HttperfClient::Config cc;
   cc.rate_per_second = requests_per_second;
   clients_.push_back(std::make_unique<workload::HttperfClient>(
-      *network_, vm, *server, cc,
-      platform_->rng().split(std::hash<std::string>{}(key + "/client"))));
+      net_of(vm), vm, *server, cc,
+      app_rng().split(std::hash<std::string>{}(key + "/client"))));
   workloads_.push_back(std::move(server));
   return vm;
 }
 
 obs::TraceSink& Scenario::enable_tracing(obs::TraceConfig cfg) {
-  if (trace_sink_ == nullptr) {
-    trace_sink_ = std::make_unique<obs::TraceSink>(cfg);
-    simulation_.set_trace(trace_sink_.get());
+  for (auto& stack : stacks_) {
+    if (stack->trace_sink == nullptr) {
+      stack->trace_sink = std::make_unique<obs::TraceSink>(cfg);
+      stack->simulation.set_trace(stack->trace_sink.get());
+    }
   }
-  return *trace_sink_;
+  return *stacks_[0]->trace_sink;
 }
 
 obs::InvariantChecker& Scenario::enable_invariants() {
-  if (invariants_ == nullptr) {
-    obs::InvariantLimits limits;
-    limits.min_slice = setup_.params.min_time_slice;
-    limits.slice_jitter = setup_.params.slice_jitter;
-    limits.credit_clip = setup_.params.credit_clip;
-    invariants_ =
-        std::make_unique<obs::InvariantChecker>(enable_tracing(), limits);
+  enable_tracing();
+  obs::InvariantLimits limits;
+  limits.min_slice = config_.params.min_time_slice;
+  limits.slice_jitter = config_.params.slice_jitter;
+  limits.credit_clip = config_.params.credit_clip;
+  for (auto& stack : stacks_) {
+    if (stack->invariants == nullptr) {
+      stack->invariants = std::make_unique<obs::InvariantChecker>(
+          *stack->trace_sink, limits);
+    }
   }
-  return *invariants_;
+  return *stacks_[0]->invariants;
+}
+
+std::vector<const obs::TraceSink*> Scenario::trace_sinks() const {
+  std::vector<const obs::TraceSink*> sinks;
+  for (const auto& stack : stacks_) {
+    if (stack->trace_sink != nullptr) sinks.push_back(stack->trace_sink.get());
+  }
+  return sinks;
 }
 
 void Scenario::start() {
   assert(!started_);
   started_ = true;
-  runtime_ = install_approach(*platform_, *monitor_, setup_.approach,
-                              setup_.atc);
-  monitor_->start();
+  for (auto& stack : stacks_) {
+    stack->runtime = install_approach(*stack->platform, *stack->monitor,
+                                      config_.approach, config_.atc);
+    stack->monitor->start();
+  }
   for (auto& client : clients_) client->start();
-  platform_->engine().start();
+  for (auto& stack : stacks_) stack->platform->engine().start();
+
+  if (config_.shards > 1) {
+    executors_.reserve(stacks_.size());
+    std::vector<sim::ShardExecutor*> execs;
+    for (std::size_t k = 0; k < stacks_.size(); ++k) {
+      executors_.push_back(std::make_unique<ShardExec>(
+          stacks_[k]->simulation, *fabric_, static_cast<int>(k)));
+      execs.push_back(executors_.back().get());
+    }
+    sim::ShardGroup::Options opts;
+    // Every cross-shard packet pays at least one wire latency after its
+    // source-NIC completion, so that delay is the safe lookahead.
+    opts.lookahead = config_.params.wire_latency;
+    opts.threads = config_.shard_threads;
+    group_ = std::make_unique<sim::ShardGroup>(std::move(execs), opts);
+  }
 }
 
 void Scenario::run_for(SimTime duration) {
   assert(started_);
-  simulation_.run_until(simulation_.now() + duration);
+  if (group_ == nullptr) {
+    stacks_[0]->simulation.run_until(stacks_[0]->simulation.now() + duration);
+    return;
+  }
+  // All shard clocks are aligned between calls (run_until's final phase).
+  group_->run_until(stacks_[0]->simulation.now() + duration);
 }
 
 void Scenario::warmup_and_measure(SimTime warmup, SimTime measure) {
   if (!started_) start();
   run_for(warmup);
-  metrics_.reset_all();
+  metrics_->reset_all();
   reset_platform_stats();
   run_for(measure);
 }
 
 void Scenario::reset_platform_stats() {
-  for (std::size_t id = 0; id < platform_->vm_count(); ++id) {
-    virt::Vm& vm = platform_->vm(virt::VmId{static_cast<std::int32_t>(id)});
-    vm.totals() = virt::Vm::Totals{};
-    for (auto& v : vm.vcpus()) v->mutable_totals() = virt::Vcpu::Totals{};
+  for (auto& stack : stacks_) {
+    virt::Platform& platform = *stack->platform;
+    for (std::size_t id = 0; id < platform.vm_count(); ++id) {
+      virt::Vm& vm = platform.vm(virt::VmId{static_cast<std::int32_t>(id)});
+      vm.totals() = virt::Vm::Totals{};
+      for (auto& v : vm.vcpus()) v->mutable_totals() = virt::Vcpu::Totals{};
+    }
   }
   llc_baseline_ = 0;  // totals were zeroed; baseline resets with them
-  stats_reset_at_ = simulation_.now();
+  stats_reset_at_ = stacks_[0]->simulation.now();
+}
+
+std::uint64_t Scenario::events_executed() const {
+  std::uint64_t total = 0;
+  for (const auto& stack : stacks_) total += stack->simulation.events_executed();
+  return total;
+}
+
+std::vector<virt::Vm*> Scenario::guest_vms() const {
+  std::vector<virt::Vm*> out;
+  for (const auto& stack : stacks_) {
+    for (virt::Vm* vm : stack->platform->guest_vms()) out.push_back(vm);
+  }
+  return out;
 }
 
 double Scenario::mean_superstep(const std::string& key) {
-  return metrics_.durations(key + "/superstep").mean_seconds();
+  return metrics_->durations(key + "/superstep").mean_seconds();
 }
 
 double Scenario::mean_superstep_with_prefix(const std::string& prefix) {
@@ -203,12 +347,15 @@ double Scenario::mean_superstep_with_prefix(const std::string& prefix) {
 double Scenario::avg_parallel_spin_latency() {
   sim::SimTime wall = 0;
   std::uint64_t episodes = 0;
-  for (std::size_t id = 0; id < platform_->vm_count(); ++id) {
-    const virt::Vm& vm =
-        platform_->vm(virt::VmId{static_cast<std::int32_t>(id)});
-    if (!vm.is_parallel()) continue;
-    wall += vm.totals().spin_wall;
-    episodes += vm.totals().spin_episodes;
+  for (auto& stack : stacks_) {
+    virt::Platform& platform = *stack->platform;
+    for (std::size_t id = 0; id < platform.vm_count(); ++id) {
+      const virt::Vm& vm =
+          platform.vm(virt::VmId{static_cast<std::int32_t>(id)});
+      if (!vm.is_parallel()) continue;
+      wall += vm.totals().spin_wall;
+      episodes += vm.totals().spin_episodes;
+    }
   }
   if (episodes == 0) return 0.0;
   return sim::to_seconds(wall) / static_cast<double>(episodes);
@@ -216,39 +363,58 @@ double Scenario::avg_parallel_spin_latency() {
 
 double Scenario::llc_miss_rate() {
   std::uint64_t misses = 0;
-  for (std::size_t id = 0; id < platform_->vm_count(); ++id) {
-    misses += platform_->vm(virt::VmId{static_cast<std::int32_t>(id)})
-                  .totals()
-                  .llc_misses;
+  for (auto& stack : stacks_) {
+    virt::Platform& platform = *stack->platform;
+    for (std::size_t id = 0; id < platform.vm_count(); ++id) {
+      misses += platform.vm(virt::VmId{static_cast<std::int32_t>(id)})
+                    .totals()
+                    .llc_misses;
+    }
   }
-  const SimTime span = simulation_.now() - stats_reset_at_;
+  const SimTime span = stacks_[0]->simulation.now() - stats_reset_at_;
   if (span <= 0) return 0.0;
   return static_cast<double>(misses - llc_baseline_) / sim::to_seconds(span);
 }
 
-Scenario::Setup ScenarioBuilder::validated() const {
+ScenarioConfig ScenarioBuilder::validated() const {
   auto require_positive = [](int v, const char* what) {
     if (v <= 0) {
       throw std::invalid_argument(std::string(what) + " must be positive, got " +
                                   std::to_string(v));
     }
   };
-  require_positive(setup_.nodes, "nodes");
-  require_positive(setup_.pcpus_per_node, "pcpus_per_node");
-  require_positive(setup_.vms_per_node, "vms_per_node");
-  require_positive(setup_.vcpus_per_vm, "vcpus_per_vm");
-  if (!allow_wide_vms_ && setup_.vcpus_per_vm > setup_.pcpus_per_node) {
+  require_positive(config_.nodes, "nodes");
+  require_positive(config_.pcpus_per_node, "pcpus_per_node");
+  require_positive(config_.vms_per_node, "vms_per_node");
+  require_positive(config_.vcpus_per_vm, "vcpus_per_vm");
+  require_positive(config_.shards, "shards");
+  if (!allow_wide_vms_ && config_.vcpus_per_vm > config_.pcpus_per_node) {
     throw std::invalid_argument(
-        "vcpus_per_vm (" + std::to_string(setup_.vcpus_per_vm) +
-        ") exceeds pcpus_per_node (" + std::to_string(setup_.pcpus_per_node) +
+        "vcpus_per_vm (" + std::to_string(config_.vcpus_per_vm) +
+        ") exceeds pcpus_per_node (" + std::to_string(config_.pcpus_per_node) +
         "); a VM wider than its host cannot run all VCPUs concurrently — "
         "call allow_wide_vms() if this overcommit is intentional");
   }
-  return setup_;
+  if (config_.shards > config_.nodes) {
+    throw std::invalid_argument(
+        "shards (" + std::to_string(config_.shards) + ") exceeds nodes (" +
+        std::to_string(config_.nodes) +
+        "); a shard must own at least one node");
+  }
+  if (config_.shards > 1 &&
+      config_.params.wire_latency < config_.params.pdes_lookahead_floor) {
+    throw std::invalid_argument(
+        "wire_latency (" + std::to_string(config_.params.wire_latency) +
+        " ns) is below pdes_lookahead_floor (" +
+        std::to_string(config_.params.pdes_lookahead_floor) +
+        " ns); conservative rounds would synchronize more than they "
+        "simulate — raise the latency or lower the floor");
+  }
+  return config_;
 }
 
 std::unique_ptr<Scenario> ScenarioBuilder::build() const {
-  auto scenario = std::make_unique<Scenario>(validated());
+  std::unique_ptr<Scenario> scenario(new Scenario(validated()));
   if (trace_) scenario->enable_tracing(trace_cfg_);
   if (invariants_) scenario->enable_invariants();
   return scenario;

@@ -1,9 +1,18 @@
 // Scenario: one complete simulated experiment configuration.
 //
-// Owns the simulation, platform, network, monitor, scheduling approach,
-// applications and metrics for a single run.  Benches construct a Scenario
-// per (approach x workload x scale) cell, run warmup + measurement, and read
-// the recorders.
+// Owns the simulation state, platform(s), network(s), monitor(s), scheduling
+// approach, applications and metrics for a single run.  Benches construct a
+// Scenario per (approach x workload x scale) cell through ScenarioBuilder,
+// run warmup + measurement, and read the recorders.
+//
+// Sharded runs (DESIGN.md §10): with shards = K > 1 the cluster's nodes are
+// carved into K contiguous blocks, each backed by a full per-shard stack
+// (Simulation + Platform + VirtualNetwork + PeriodMonitor).  Cross-shard
+// packets travel through a ShardFabric and the run advances in conservative
+// PDES rounds driven by a ShardGroup; the public surface below hides all of
+// that — run_for()/warmup_and_measure() behave identically at any K, and
+// shards = 1 takes the exact legacy single-stack path (zero overhead,
+// byte-identical to the committed golden traces).
 #pragma once
 
 #include <memory>
@@ -14,8 +23,10 @@
 #include "atc/config.h"
 #include "cluster/approach.h"
 #include "metrics/recorders.h"
+#include "net/fabric.h"
 #include "net/network.h"
 #include "obs/invariants.h"
+#include "simcore/shard.h"
 #include "sync/period_monitor.h"
 #include "virt/platform.h"
 #include "workload/apps.h"
@@ -23,24 +34,29 @@
 
 namespace atcsim::cluster {
 
+/// Validated scenario configuration.  Produced by
+/// ScenarioBuilder::validated(); Scenario construction is only reachable
+/// through the builder, which is what guarantees every Scenario in the tree
+/// was validated first.
+struct ScenarioConfig {
+  int nodes = 2;
+  int pcpus_per_node = 8;
+  int vms_per_node = 4;
+  int vcpus_per_vm = 8;
+  Approach approach = Approach::kCR;
+  atc::AtcConfig atc;
+  virt::ModelParams params;
+  std::uint64_t seed = 1;
+  /// Conservative-PDES shard count; 1 = classic single-threaded run.
+  /// Sharding forces params.per_node_streams so results depend only on the
+  /// shard map (node blocks), never on thread scheduling.
+  int shards = 1;
+  /// Worker threads for the shard group; 0 = min(shards, hardware).
+  std::size_t shard_threads = 0;
+};
+
 class Scenario {
  public:
-  // DEPRECATED: construction shim kept so existing call sites compile.
-  // New code should go through ScenarioBuilder (below), which validates the
-  // platform shape before a Scenario exists; the raw aggregate accepts any
-  // values.  See DESIGN.md ("Scenario construction") for the migration note.
-  struct Setup {
-    int nodes = 2;
-    int pcpus_per_node = 8;
-    int vms_per_node = 4;
-    int vcpus_per_vm = 8;
-    Approach approach = Approach::kCR;
-    atc::AtcConfig atc;
-    virt::ModelParams params;
-    std::uint64_t seed = 1;
-  };
-
-  explicit Scenario(Setup setup);
   ~Scenario();
 
   Scenario(const Scenario&) = delete;
@@ -48,7 +64,8 @@ class Scenario {
 
   // --- construction (all before start()) --------------------------------
 
-  /// Creates the VMs of one virtual cluster; `node_for_vm[i]` hosts VM i.
+  /// Creates the VMs of one virtual cluster; `node_for_vm[i]` hosts VM i
+  /// (global node indices — the shard map is applied internally).
   std::vector<virt::Vm*> create_cluster_vms(const std::string& name,
                                             const std::vector<int>& node_for_vm);
 
@@ -73,21 +90,27 @@ class Scenario {
 
   // --- observability ------------------------------------------------------
 
-  /// Attaches a structured trace sink to the simulation and returns it.
+  /// Attaches a structured trace sink (one per shard) and returns shard 0's.
   /// Idempotent; call before start() so startup events are captured too.
   obs::TraceSink& enable_tracing(obs::TraceConfig cfg = {});
 
-  /// Enables the runtime invariant checker over the trace stream (implies
-  /// enable_tracing()).  Limits are derived from this scenario's
+  /// Enables the runtime invariant checker over every shard's trace stream
+  /// (implies enable_tracing()).  Limits are derived from this scenario's
   /// ModelParams.  Idempotent.
   obs::InvariantChecker& enable_invariants();
 
-  obs::TraceSink* trace_sink() { return trace_sink_.get(); }
-  obs::InvariantChecker* invariants() { return invariants_.get(); }
+  obs::TraceSink* trace_sink() { return stacks_[0]->trace_sink.get(); }
+  /// All shards' sinks in shard order (empty entries filtered out); feed to
+  /// obs::write_trace_files to get one merged, time-ordered artifact.
+  std::vector<const obs::TraceSink*> trace_sinks() const;
+  obs::InvariantChecker* invariants() {
+    return stacks_[0]->invariants.get();
+  }
 
   // --- lifecycle ----------------------------------------------------------
 
-  /// Installs the approach, starts monitor/clients/engine.  Call once.
+  /// Installs the approach, starts monitors/clients/engines (and the shard
+  /// group when shards > 1).  Call once.
   void start();
 
   void run_for(sim::SimTime duration);
@@ -98,15 +121,36 @@ class Scenario {
 
   // --- results ------------------------------------------------------------
 
-  metrics::MetricsRegistry& metrics() { return metrics_; }
-  virt::Platform& platform() { return *platform_; }
-  sim::Simulation& simulation() { return simulation_; }
-  net::VirtualNetwork& network() { return *network_; }
-  sync::PeriodMonitor& monitor() { return *monitor_; }
-  const Setup& setup() const { return setup_; }
-  /// Controllers installed by start().  The Scenario owns them for its whole
-  /// lifetime — install_approach()'s return value never lives at call sites.
-  const ApproachRuntime& approach_runtime() const { return runtime_; }
+  metrics::MetricsRegistry& metrics() { return *metrics_; }
+  const ScenarioConfig& config() const { return config_; }
+  int shard_count() const { return config_.shards; }
+
+  /// Shard 0's stack — the whole stack in unsharded runs.  Code that must
+  /// see every shard uses the indexed overloads / aggregate helpers below.
+  virt::Platform& platform() { return *stacks_[0]->platform; }
+  sim::Simulation& simulation() { return stacks_[0]->simulation; }
+  net::VirtualNetwork& network() { return *stacks_[0]->network; }
+  sync::PeriodMonitor& monitor() { return *stacks_[0]->monitor; }
+
+  virt::Platform& platform(int shard) { return *stack(shard).platform; }
+  sim::Simulation& simulation(int shard) { return stack(shard).simulation; }
+  net::VirtualNetwork& network(int shard) { return *stack(shard).network; }
+
+  /// Controllers installed by start() on shard 0 (per-shard runtimes exist
+  /// for every shard; the Scenario owns them all for its whole lifetime).
+  const ApproachRuntime& approach_runtime() const {
+    return stacks_[0]->runtime;
+  }
+
+  /// Cross-shard fabric; nullptr in unsharded runs.
+  const net::ShardFabric* fabric() const { return fabric_.get(); }
+  /// Round synchronizer; nullptr until start(), and in unsharded runs.
+  const sim::ShardGroup* shard_group() const { return group_.get(); }
+
+  /// Events executed across all shards.
+  std::uint64_t events_executed() const;
+  /// All guest (non-dom0) VMs across all shards, shard-then-id order.
+  std::vector<virt::Vm*> guest_vms() const;
 
   /// Mean superstep seconds of one app key; 0 when nothing recorded.
   double mean_superstep(const std::string& key);
@@ -123,15 +167,44 @@ class Scenario {
   void reset_platform_stats();
 
  private:
-  Setup setup_;
-  sim::Simulation simulation_;
-  std::unique_ptr<virt::Platform> platform_;
-  std::unique_ptr<net::VirtualNetwork> network_;
-  std::unique_ptr<sync::PeriodMonitor> monitor_;
-  metrics::MetricsRegistry metrics_;
-  std::unique_ptr<obs::TraceSink> trace_sink_;
-  std::unique_ptr<obs::InvariantChecker> invariants_;
-  ApproachRuntime runtime_;
+  friend class ScenarioBuilder;
+
+  /// One shard's engine stack.  Unsharded scenarios have exactly one.
+  struct ShardStack {
+    sim::Simulation simulation;
+    std::unique_ptr<virt::Platform> platform;
+    std::unique_ptr<net::VirtualNetwork> network;
+    std::unique_ptr<sync::PeriodMonitor> monitor;
+    std::unique_ptr<obs::TraceSink> trace_sink;
+    std::unique_ptr<obs::InvariantChecker> invariants;
+    ApproachRuntime runtime;
+    int first_node = 0;  ///< global id of this shard's first node
+    int node_count = 0;
+  };
+  class ShardExec;
+
+  explicit Scenario(ScenarioConfig config);
+
+  ShardStack& stack(int shard) {
+    return *stacks_[static_cast<std::size_t>(shard)];
+  }
+  /// Shard owning global node `node` (contiguous balanced blocks).
+  int shard_of_node(int node) const;
+  virt::Platform& platform_of_node(int node);
+  virt::NodeId local_node_id(int node) const;
+  /// App-level RNG: the legacy platform stream at shards = 1 (golden-trace
+  /// compatibility), a scenario-owned stream with the identical split
+  /// sequence otherwise.
+  sim::Rng& app_rng();
+  static net::VirtualNetwork& net_of(virt::Vm& vm);
+
+  ScenarioConfig config_;
+  std::vector<std::unique_ptr<ShardStack>> stacks_;
+  std::unique_ptr<metrics::MetricsRegistry> metrics_;
+  std::unique_ptr<net::ShardFabric> fabric_;
+  std::vector<std::unique_ptr<ShardExec>> executors_;
+  std::unique_ptr<sim::ShardGroup> group_;
+  sim::Rng app_rng_;
   std::vector<std::unique_ptr<workload::BspApp>> bsp_apps_;
   std::vector<std::unique_ptr<virt::Workload>> workloads_;
   std::vector<std::unique_ptr<workload::HttperfClient>> clients_;
@@ -141,41 +214,54 @@ class Scenario {
   bool started_ = false;
 };
 
-/// Fluent, validating Scenario factory:
+/// Fluent, validating Scenario factory — the only way to construct a
+/// Scenario:
 ///
 ///   auto s = ScenarioBuilder{}
 ///                .nodes(8)
 ///                .approach(Approach::kATC)
 ///                .atc(cfg)
+///                .shards(4)
 ///                .seed(7)
 ///                .build();
 ///
-/// build() / validated() throw std::invalid_argument on non-positive counts
-/// or when vcpus_per_vm exceeds pcpus_per_node.  The paper's motivation
-/// experiments deliberately run 16-VCPU VMs on 8-PCPU nodes; opt into such
-/// shapes explicitly with allow_wide_vms().
+/// build() / validated() throw std::invalid_argument on non-positive counts,
+/// when vcpus_per_vm exceeds pcpus_per_node, or on an unusable shard count
+/// (shards < 1, shards > nodes, or a wire latency below the PDES lookahead
+/// floor).  The paper's motivation experiments deliberately run 16-VCPU VMs
+/// on 8-PCPU nodes; opt into such shapes explicitly with allow_wide_vms().
 class ScenarioBuilder {
  public:
-  ScenarioBuilder& nodes(int n) { return set(setup_.nodes, n); }
+  ScenarioBuilder& nodes(int n) { return set(config_.nodes, n); }
   ScenarioBuilder& pcpus_per_node(int n) {
-    return set(setup_.pcpus_per_node, n);
+    return set(config_.pcpus_per_node, n);
   }
-  ScenarioBuilder& vms_per_node(int n) { return set(setup_.vms_per_node, n); }
-  ScenarioBuilder& vcpus_per_vm(int n) { return set(setup_.vcpus_per_vm, n); }
+  ScenarioBuilder& vms_per_node(int n) { return set(config_.vms_per_node, n); }
+  ScenarioBuilder& vcpus_per_vm(int n) { return set(config_.vcpus_per_vm, n); }
   ScenarioBuilder& approach(Approach a) {
-    setup_.approach = a;
+    config_.approach = a;
     return *this;
   }
   ScenarioBuilder& atc(const atc::AtcConfig& cfg) {
-    setup_.atc = cfg;
+    config_.atc = cfg;
     return *this;
   }
   ScenarioBuilder& params(const virt::ModelParams& p) {
-    setup_.params = p;
+    config_.params = p;
     return *this;
   }
   ScenarioBuilder& seed(std::uint64_t s) {
-    setup_.seed = s;
+    config_.seed = s;
+    return *this;
+  }
+  /// Conservative-PDES shard count (1 = classic single-threaded run).
+  ScenarioBuilder& shards(int k) {
+    config_.shards = k;
+    return *this;
+  }
+  /// Worker threads for sharded runs; 0 = min(shards, hardware cores).
+  ScenarioBuilder& shard_threads(std::size_t t) {
+    config_.shard_threads = t;
     return *this;
   }
   /// Permits vcpus_per_vm > pcpus_per_node (wide-VM overcommit).
@@ -195,8 +281,8 @@ class ScenarioBuilder {
     return *this;
   }
 
-  /// The validated Setup; throws std::invalid_argument on bad parameters.
-  Scenario::Setup validated() const;
+  /// The validated config; throws std::invalid_argument on bad parameters.
+  ScenarioConfig validated() const;
 
   /// Validates and constructs the Scenario.
   std::unique_ptr<Scenario> build() const;
@@ -207,7 +293,7 @@ class ScenarioBuilder {
     return *this;
   }
 
-  Scenario::Setup setup_;
+  ScenarioConfig config_;
   bool allow_wide_vms_ = false;
   bool trace_ = false;
   obs::TraceConfig trace_cfg_;

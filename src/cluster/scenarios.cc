@@ -88,9 +88,9 @@ void add_independent_parallel(Scenario& s, std::vector<int>& capacity,
 
 TypeBLayout build_type_b(Scenario& s) {
   TypeBLayout layout;
-  std::vector<int> capacity(static_cast<std::size_t>(s.setup().nodes),
-                            s.setup().vms_per_node);
-  sim::Rng rng(s.setup().seed ^ 0xA71A5);
+  std::vector<int> capacity(static_cast<std::size_t>(s.config().nodes),
+                            s.config().vms_per_node);
+  sim::Rng rng(s.config().seed ^ 0xA71A5);
   layout.vc_keys = build_trace_vcs(s, capacity, rng);
   // Independent VMs run lu.B or is.B (Sec. IV-B2).
   int index = 0;
@@ -104,9 +104,9 @@ TypeBLayout build_type_b(Scenario& s) {
 
 MixedLayout build_mixed(Scenario& s) {
   MixedLayout layout;
-  std::vector<int> capacity(static_cast<std::size_t>(s.setup().nodes),
-                            s.setup().vms_per_node);
-  sim::Rng rng(s.setup().seed ^ 0xA71A5);  // same VC draw as type B
+  std::vector<int> capacity(static_cast<std::size_t>(s.config().nodes),
+                            s.config().vms_per_node);
+  sim::Rng rng(s.config().seed ^ 0xA71A5);  // same VC draw as type B
   layout.vc_keys = build_trace_vcs(s, capacity, rng);
 
   // Independent VMs cycle through non-parallel apps + single-VM lu/is

@@ -33,10 +33,7 @@ bool trace_requested(int argc, char** argv) {
 }
 
 void set_global_guest_slice(cluster::Scenario& s, sim::SimTime slice) {
-  for (std::size_t i = 0; i < s.platform().vm_count(); ++i) {
-    virt::Vm& vm = s.platform().vm(virt::VmId{static_cast<int>(i)});
-    if (!vm.is_dom0()) vm.set_time_slice(slice);
-  }
+  for (virt::Vm* vm : s.guest_vms()) vm->set_time_slice(slice);
 }
 
 }  // namespace atcsim::exp

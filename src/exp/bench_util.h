@@ -1,4 +1,4 @@
-// Shared harness helpers (formerly duplicated in bench/bench_common.h).
+// Shared harness helpers for the figure-reproduction benches.
 //
 // Durations default to values that finish in seconds; set
 // ATCSIM_BENCH_SCALE=N (e.g. 3) to multiply the measurement windows for

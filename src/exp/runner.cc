@@ -153,7 +153,8 @@ TrialResult run_type_a_trial(const Trial& t, const atc::AtcConfig& atc_cfg) {
       .allow_wide_vms()  // motivation layouts run 16-VCPU VMs on 8 PCPUs
       .approach(t.approach)
       .atc(atc_cfg)
-      .seed(t.seed());
+      .seed(t.seed())
+      .shards(t.shards);
   if (t.trace) builder.tracing().check_invariants();
   auto s = builder.build();
   cluster::build_type_a(*s, t.app, t.cls);
@@ -167,12 +168,14 @@ TrialResult run_type_a_trial(const Trial& t, const atc::AtcConfig& atc_cfg) {
   r.metrics["superstep_s"] = s->mean_superstep_with_prefix(prefix);
   r.metrics["spin_s"] = s->avg_parallel_spin_latency();
   r.metrics["llc_miss_per_s"] = s->llc_miss_rate();
-  r.metrics["events"] =
-      static_cast<double>(s->simulation().events_executed());
+  r.metrics["events"] = static_cast<double>(s->events_executed());
   if (t.trace && s->trace_sink() != nullptr) {
-    obs::write_trace_files(*s->trace_sink(), trace_root(), trace_stem(t));
-    r.metrics["trace_events"] =
-        static_cast<double>(s->trace_sink()->emitted());
+    obs::write_trace_files(s->trace_sinks(), trace_root(), trace_stem(t));
+    std::uint64_t emitted = 0;
+    for (const obs::TraceSink* sink : s->trace_sinks()) {
+      emitted += sink->emitted();
+    }
+    r.metrics["trace_events"] = static_cast<double>(emitted);
   }
   return r;
 }

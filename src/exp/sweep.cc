@@ -86,6 +86,7 @@ std::vector<Trial> expand(const SweepSpec& spec) {
                   t.slice = slice;
                   t.base_seed = seed;
                   t.rep = rep;
+                  t.shards = spec.shards;
                   t.warmup = spec.warmup;
                   t.measure = spec.measure;
                   t.trace = spec.trace;
@@ -103,6 +104,10 @@ std::uint64_t spec_hash(const SweepSpec& spec) {
   h.mix(static_cast<std::uint64_t>(spec.measure));
   h.mix(static_cast<std::uint64_t>(spec.vms_per_node));
   h.mix(static_cast<std::uint64_t>(spec.pcpus_per_node));
+  // Sharding forces per-node RNG streams, which is a different (equally
+  // valid) draw sequence — a distinct cache universe.  Unsharded specs hash
+  // exactly as before so existing caches stay warm.
+  if (spec.shards != 1) h.mix(static_cast<std::uint64_t>(spec.shards));
   return h.value();
 }
 
@@ -120,6 +125,7 @@ std::uint64_t trial_hash(const Trial& t) {
   h.mix(static_cast<std::uint64_t>(t.rep));
   h.mix(static_cast<std::uint64_t>(t.warmup));
   h.mix(static_cast<std::uint64_t>(t.measure));
+  if (t.shards != 1) h.mix(static_cast<std::uint64_t>(t.shards));
   return h.value();
 }
 

@@ -40,6 +40,10 @@ struct SweepSpec {
 
   int vms_per_node = 4;
   int pcpus_per_node = 8;
+  /// Conservative-PDES shard count applied to every trial (1 = classic
+  /// single-threaded run).  Hashed only when != 1 so existing caches and
+  /// golden sweep ids survive unchanged.
+  int shards = 1;
   sim::SimTime warmup = sim::kSecond;
   sim::SimTime measure = 5 * sim::kSecond;
 
@@ -66,6 +70,7 @@ struct Trial {
   sim::SimTime slice = kAdaptiveSlice;
   std::uint64_t base_seed = 42;
   int rep = 0;
+  int shards = 1;  ///< copied from SweepSpec::shards; hashed only when != 1
   sim::SimTime warmup = sim::kSecond;
   sim::SimTime measure = 5 * sim::kSecond;
   bool trace = false;  ///< copied from SweepSpec::trace; not hashed

@@ -1,0 +1,69 @@
+#include "net/fabric.h"
+
+#include <cassert>
+#include <numeric>
+
+#include "net/network.h"
+
+namespace atcsim::net {
+
+ShardFabric::ShardFabric(int shards, std::size_t mailbox_slots)
+    : shards_(shards),
+      nets_(static_cast<std::size_t>(shards), nullptr),
+      platforms_(static_cast<std::size_t>(shards), nullptr),
+      boxes_(static_cast<std::size_t>(shards) *
+             static_cast<std::size_t>(shards)),
+      posted_(static_cast<std::size_t>(shards), 0),
+      delivered_(static_cast<std::size_t>(shards), 0) {
+  assert(shards_ >= 2 && "a fabric only exists between shards");
+  for (auto& b : boxes_) b.reserve(mailbox_slots);
+}
+
+void ShardFabric::bind(int shard, VirtualNetwork& net) {
+  const auto s = static_cast<std::size_t>(shard);
+  assert(s < nets_.size() && nets_[s] == nullptr);
+  nets_[s] = &net;
+  platforms_[s] = &net.platform();
+  net.bind_fabric(this, shard);
+}
+
+int ShardFabric::shard_of(const virt::Platform* platform) const {
+  for (std::size_t s = 0; s < platforms_.size(); ++s) {
+    if (platforms_[s] == platform) return static_cast<int>(s);
+  }
+  assert(false && "platform is not bound to this fabric");
+  return -1;
+}
+
+void ShardFabric::post(int src_shard, virt::Vm& dst, sim::SimTime due,
+                       std::uint64_t bytes, sim::InlineCallback done) {
+  const int dst_shard = shard_of(&dst.node().platform());
+  assert(dst_shard != src_shard && "local packets never enter the fabric");
+  box(src_shard, dst_shard)
+      .push_back(RemotePacket{due, &dst, bytes, std::move(done)});
+  ++posted_[static_cast<std::size_t>(src_shard)];
+}
+
+void ShardFabric::deliver_to(int dst_shard) {
+  VirtualNetwork* net = nets_[static_cast<std::size_t>(dst_shard)];
+  assert(net != nullptr);
+  for (int src = 0; src < shards_; ++src) {
+    auto& mailbox = box(src, dst_shard);
+    for (RemotePacket& pkt : mailbox) {
+      net->receive_remote(pkt);
+      ++delivered_[static_cast<std::size_t>(dst_shard)];
+    }
+    mailbox.clear();  // capacity retained; steady state never reallocates
+  }
+}
+
+std::uint64_t ShardFabric::posted() const {
+  return std::accumulate(posted_.begin(), posted_.end(), std::uint64_t{0});
+}
+
+std::uint64_t ShardFabric::delivered() const {
+  return std::accumulate(delivered_.begin(), delivered_.end(),
+                         std::uint64_t{0});
+}
+
+}  // namespace atcsim::net

@@ -1,0 +1,96 @@
+// Cross-shard packet fabric for sharded (conservative PDES) runs.
+//
+// One ShardFabric spans all shards of a scenario.  During a round's advance
+// phase, a shard whose guest sends to a VM owned by another shard serializes
+// the packet through its own NIC as usual and then posts a RemotePacket —
+// {due time, destination VM, bytes, completion} — into the (src, dst)
+// mailbox.  Mailboxes are drained at the start of the next round, before any
+// shard advances, in canonical order (source shards in index order, FIFO
+// within a mailbox), which is what makes sharded runs deterministic at any
+// worker-thread count.
+//
+// Concurrency: mailbox (s, d) is written only by shard s's worker during the
+// advance phase and read only by shard d's worker during the delivery phase;
+// the ShardGroup barrier between the phases publishes the writes.  No locks,
+// no atomics.  Each mailbox is a plain vector that keeps its high-water
+// capacity (cold-start size ModelParams::pdes_mailbox_slots), so steady-
+// state exchange touches the allocator zero times.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "simcore/inline_callback.h"
+#include "simcore/time.h"
+
+namespace atcsim {
+namespace virt {
+class Platform;
+class Vm;
+}  // namespace virt
+
+namespace net {
+
+class VirtualNetwork;
+
+class ShardFabric {
+ public:
+  /// A packet in flight between shards: it has already paid the source-side
+  /// guest/dom0/NIC costs and is due at the destination NIC at `due`
+  /// (>= send time + wire latency, which is the PDES lookahead).
+  struct RemotePacket {
+    sim::SimTime due = 0;
+    virt::Vm* dst = nullptr;
+    std::uint64_t bytes = 0;
+    sim::InlineCallback done;
+  };
+
+  ShardFabric(int shards, std::size_t mailbox_slots);
+
+  ShardFabric(const ShardFabric&) = delete;
+  ShardFabric& operator=(const ShardFabric&) = delete;
+
+  /// Registers shard `shard`'s network (and its platform) with the fabric
+  /// and binds the network back to it.  Call once per shard, in shard
+  /// order, before Engine::start().
+  void bind(int shard, VirtualNetwork& net);
+
+  /// Posts a packet from `src_shard` to the shard owning `dst`'s platform.
+  /// Caller is the source shard's worker, inside its advance phase.
+  void post(int src_shard, virt::Vm& dst, sim::SimTime due,
+            std::uint64_t bytes, sim::InlineCallback done);
+
+  /// Drains every mailbox destined for `dst_shard` in canonical order,
+  /// handing each packet to that shard's network.  Caller is the
+  /// destination shard's worker, between rounds.
+  void deliver_to(int dst_shard);
+
+  /// Shard owning `platform`; fabrics span at most a handful of shards, so
+  /// a linear scan beats any map.
+  int shard_of(const virt::Platform* platform) const;
+
+  int shards() const { return shards_; }
+  /// Totals across shards.  Call only while no round is in flight (the
+  /// per-shard counters below are owned by the shard workers).
+  std::uint64_t posted() const;
+  std::uint64_t delivered() const;
+
+ private:
+  std::vector<RemotePacket>& box(int src, int dst) {
+    return boxes_[static_cast<std::size_t>(src) *
+                      static_cast<std::size_t>(shards_) +
+                  static_cast<std::size_t>(dst)];
+  }
+
+  int shards_;
+  std::vector<VirtualNetwork*> nets_;
+  std::vector<const virt::Platform*> platforms_;
+  std::vector<std::vector<RemotePacket>> boxes_;  ///< [src * shards + dst]
+  // Counter-per-shard, each written only by that shard's worker (posted by
+  // source, delivered by destination); summed between rounds.
+  std::vector<std::uint64_t> posted_;
+  std::vector<std::uint64_t> delivered_;
+};
+
+}  // namespace net
+}  // namespace atcsim

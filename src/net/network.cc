@@ -109,6 +109,7 @@ VirtualNetwork::~VirtualNetwork() = default;
 void VirtualNetwork::attach() {
   assert(!attached_);
   attached_ = true;
+  platform_->set_network(this);
   for (std::size_t n = 0; n < platform_->nodes().size(); ++n) {
     virt::Node& node = *platform_->nodes()[n];
     nodes_[n].backend = std::make_unique<Dom0Backend>(*this, node);
@@ -215,7 +216,26 @@ void VirtualNetwork::tx_effect(PacketRef r) {
                     ->id()
                     .value,
                 nullptr, static_cast<std::int64_t>(p.bytes), p.dst_node));
+  if (p.dst_node == kRemoteNode) {
+    // Destination VM lives on another shard: the packet leaves this shard
+    // after the source NIC, due at the remote NIC one wire latency later —
+    // exactly the lookahead the round synchronizer relies on.
+    virt::Vm* dst = p.dst;
+    const std::uint64_t bytes = p.bytes;
+    fabric_->post(shard_, *dst, arrive, bytes, release(r));
+    return;
+  }
   simulation().call_at(arrive, [this, r] { rx_arrive(r); });
+}
+
+void VirtualNetwork::receive_remote(ShardFabric::RemotePacket& pkt) {
+  // Lookahead safety: a remote packet is delivered between rounds and must
+  // be due strictly ahead of this shard's clock.
+  assert(pkt.due >= simulation().now() &&
+         "cross-shard packet due in the past: lookahead violated");
+  const PacketRef r = acquire(pkt.bytes, pkt.dst, -1,
+                              pkt.dst->node().index(), std::move(pkt.done));
+  simulation().call_at(pkt.due, [this, r] { rx_arrive(r); });
 }
 
 void VirtualNetwork::rx_arrive(PacketRef r) {
@@ -281,6 +301,13 @@ void VirtualNetwork::disk_done(PacketRef r) {
 
 void VirtualNetwork::send(virt::Vm& src, virt::Vm& dst, std::uint64_t bytes,
                           sim::InlineCallback on_delivered) {
+  // Self-route: workloads hold whichever shard's network they were built
+  // with, but a packet always originates on the shard owning its source VM.
+  if (&src.node().platform() != platform_) {
+    src.node().platform().network()->send(src, dst, bytes,
+                                          std::move(on_delivered));
+    return;
+  }
   assert(attached_);
   counters_.packets += 1;
   counters_.bytes += bytes;
@@ -290,14 +317,22 @@ void VirtualNetwork::send(virt::Vm& src, virt::Vm& dst, std::uint64_t bytes,
                net_event(simulation().now(), obs::ev::kGuestTx,
                          src.node().id().value, &src,
                          static_cast<std::int64_t>(bytes), dst.id().value));
-  const PacketRef r = acquire(bytes, &dst, src.node().index(),
-                              dst.node().index(), std::move(on_delivered));
+  const bool remote = &dst.node().platform() != platform_;
+  const PacketRef r =
+      acquire(bytes, &dst, src.node().index(),
+              remote ? kRemoteNode : dst.node().index(),
+              std::move(on_delivered));
   backend_of(src).enqueue(
       Dom0Backend::Job{packet_cpu_cost(bytes), [this, r] { tx_effect(r); }});
 }
 
 void VirtualNetwork::inject(virt::Vm& dst, std::uint64_t bytes,
                             sim::InlineCallback on_delivered) {
+  if (&dst.node().platform() != platform_) {
+    dst.node().platform().network()->inject(dst, bytes,
+                                            std::move(on_delivered));
+    return;
+  }
   assert(attached_);
   counters_.packets += 1;
   counters_.bytes += bytes;
@@ -312,6 +347,11 @@ void VirtualNetwork::inject(virt::Vm& dst, std::uint64_t bytes,
 
 void VirtualNetwork::send_out(virt::Vm& src, std::uint64_t bytes,
                               sim::InlineCallback on_exit_fabric) {
+  if (&src.node().platform() != platform_) {
+    src.node().platform().network()->send_out(src, bytes,
+                                              std::move(on_exit_fabric));
+    return;
+  }
   assert(attached_);
   counters_.packets += 1;
   counters_.bytes += bytes;
@@ -329,6 +369,11 @@ void VirtualNetwork::send_out(virt::Vm& src, std::uint64_t bytes,
 
 void VirtualNetwork::submit_disk(virt::Vm& vm, std::uint64_t bytes,
                                  sim::InlineCallback on_complete) {
+  if (&vm.node().platform() != platform_) {
+    vm.node().platform().network()->submit_disk(vm, bytes,
+                                                std::move(on_complete));
+    return;
+  }
   assert(attached_);
   counters_.disk_ops += 1;
   ATCSIM_TRACE(simulation().trace(),

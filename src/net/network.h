@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "net/fabric.h"
 #include "simcore/inline_callback.h"
 #include "virt/engine.h"
 #include "virt/platform.h"
@@ -87,8 +88,22 @@ class VirtualNetwork {
   VirtualNetwork(const VirtualNetwork&) = delete;
   VirtualNetwork& operator=(const VirtualNetwork&) = delete;
 
-  /// Binds each node's backend to dom0 VCPU 0.  Call before Engine::start().
+  /// Binds each node's backend to dom0 VCPU 0 and registers this network as
+  /// its platform's owning network.  Call before Engine::start().
   void attach();
+
+  /// Joins this network to a cross-shard fabric as shard `shard`.  Called
+  /// by ShardFabric::bind; unsharded networks never see it.
+  void bind_fabric(ShardFabric* fabric, int shard) {
+    fabric_ = fabric;
+    shard_ = shard;
+  }
+
+  /// Accepts a packet posted by another shard: acquires a local descriptor
+  /// and schedules the destination NIC rx leg at the packet's due time.
+  /// Runs between rounds; `pkt.due` is strictly ahead of the local clock
+  /// (the lookahead guarantee), which the assert inside enforces.
+  void receive_remote(ShardFabric::RemotePacket& pkt);
 
   /// Guest-to-guest message.  `on_delivered` runs in the destination guest's
   /// context (event-channel mailbox), i.e. only once that VM can process
@@ -117,6 +132,7 @@ class VirtualNetwork {
   }
 
   virt::Engine& engine() { return platform_->engine(); }
+  virt::Platform& platform() { return *platform_; }
   const virt::ModelParams& params() const { return platform_->params(); }
   sim::Simulation& simulation() { return platform_->simulation(); }
 
@@ -159,6 +175,10 @@ class VirtualNetwork {
   };
 
   static constexpr std::uint32_t kNilSlot = UINT32_MAX;
+  /// dst_node sentinel marking a packet whose destination VM lives on
+  /// another shard's platform: tx_effect hands it to the fabric after the
+  /// source NIC instead of scheduling a local wire arrival.
+  static constexpr std::int32_t kRemoteNode = -2;
 
   struct NodeState {
     std::unique_ptr<Dom0Backend> backend;
@@ -196,6 +216,8 @@ class VirtualNetwork {
                                 std::uint64_t bytes, double bandwidth_bps);
 
   virt::Platform* platform_;
+  ShardFabric* fabric_ = nullptr;  ///< non-null only in sharded runs
+  int shard_ = 0;
   std::vector<NodeState> nodes_;
   Counters counters_;
   std::vector<Packet> pool_;  ///< descriptor slab; grows to high-water only

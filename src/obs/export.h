@@ -12,6 +12,7 @@
 
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "obs/trace.h"
 
@@ -31,5 +32,27 @@ void write_chrome_json(std::ostream& os, const TraceSink& sink);
 /// creating `dir` if needed.  Returns false on any I/O failure.
 bool write_trace_files(const TraceSink& sink, const std::string& dir,
                        const std::string& stem);
+
+// --- multi-sink (sharded-run) variants -----------------------------------
+//
+// A sharded Scenario keeps one TraceSink per shard (node/vm/vcpu ids are
+// shard-local).  These merge the streams into one time-ordered artifact:
+// events are stably sorted by timestamp, with the sinks' order in `sinks`
+// (shard order) breaking ties — so for a fixed shard map the merged output
+// is identical at every worker-thread count.
+
+/// All sinks' events merged into one time-ordered stream.
+std::vector<TraceEvent> merged_events(const std::vector<const TraceSink*>& sinks);
+
+/// Compact text of the merged stream (dropped counts summed).
+void write_compact(std::ostream& os, const std::vector<const TraceSink*>& sinks);
+
+/// Chrome-tracing JSON of the merged stream.
+void write_chrome_json(std::ostream& os,
+                       const std::vector<const TraceSink*>& sinks);
+
+/// Merged-stream equivalent of write_trace_files().
+bool write_trace_files(const std::vector<const TraceSink*>& sinks,
+                       const std::string& dir, const std::string& stem);
 
 }  // namespace atcsim::obs

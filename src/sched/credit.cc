@@ -50,8 +50,7 @@ void CreditScheduler::attach(virt::Node& node, virt::Engine& engine) {
       v->sched().rq.vm = static_cast<std::int32_t>(i);
     }
   }
-  rng_ = engine.platform().rng().split(
-      static_cast<std::uint64_t>(node.index()) + 0x5EED);
+  rng_ = engine.platform().scheduler_rng(node);
   const SimTime period = engine.params().accounting_period;
   // Recurring credit refill; the functor re-arms itself each period.
   struct Rearm {

@@ -26,6 +26,11 @@
 // Determinism is unchanged from the original binary-heap queue: events pop
 // in (time, insertion-sequence) order, so ties in time are broken by
 // schedule order and runs are byte-identical for identical inputs.
+//
+// This queue is INTERNAL to simcore: model components never schedule on it
+// directly.  The one documented scheduling surface is sim::Simulation
+// (call_in/call_at/cancel + make_timer/arm_at/arm_in/disarm); see
+// simulation.h.
 #pragma once
 
 #include <cassert>

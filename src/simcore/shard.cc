@@ -1,0 +1,172 @@
+#include "simcore/shard.h"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+
+namespace atcsim::sim {
+
+namespace {
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+}  // namespace
+
+/// Persistent fork-join pool.  The coordinator publishes an epoch under the
+/// mutex; each worker processes the shards it owns (s % threads) for the
+/// current phase and reports back.  All shard state handoff rides on these
+/// two lock acquisitions per phase, so the shard work itself is lock-free
+/// and race-free (each shard has exactly one owner).
+struct ShardGroup::Pool {
+  explicit Pool(ShardGroup& group) : group_(group) {
+    // Workers 1..threads-1; the coordinator thread doubles as worker 0.
+    for (std::size_t w = 1; w < group_.threads_; ++w) {
+      workers_.emplace_back([this, w] { worker_loop(w); });
+    }
+  }
+
+  ~Pool() {
+    {
+      std::unique_lock lock(mu_);
+      shutdown_ = true;
+      ++epoch_;
+    }
+    cv_work_.notify_all();
+    for (auto& t : workers_) t.join();
+  }
+
+  /// Runs the group's current phase on every shard and joins.
+  void run_phase() {
+    const std::size_t helpers = workers_.size();
+    {
+      std::unique_lock lock(mu_);
+      pending_ = helpers;
+      ++epoch_;
+    }
+    cv_work_.notify_all();
+    for (std::size_t s = 0; s < group_.shards_.size();
+         s += group_.threads_) {
+      group_.run_shard_phase(s);
+    }
+    std::unique_lock lock(mu_);
+    cv_done_.wait(lock, [this] { return pending_ == 0; });
+  }
+
+ private:
+  void worker_loop(std::size_t w) {
+    std::uint64_t seen = 0;
+    for (;;) {
+      {
+        std::unique_lock lock(mu_);
+        cv_work_.wait(lock, [this, seen] { return epoch_ != seen; });
+        seen = epoch_;
+        if (shutdown_) return;
+      }
+      for (std::size_t s = w; s < group_.shards_.size();
+           s += group_.threads_) {
+        group_.run_shard_phase(s);
+      }
+      std::unique_lock lock(mu_);
+      if (--pending_ == 0) cv_done_.notify_one();
+    }
+  }
+
+  ShardGroup& group_;
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  std::uint64_t epoch_ = 0;
+  std::size_t pending_ = 0;
+  bool shutdown_ = false;
+};
+
+ShardGroup::ShardGroup(std::vector<ShardExecutor*> shards, Options options)
+    : shards_(std::move(shards)), lookahead_(options.lookahead) {
+  if (shards_.empty()) {
+    throw std::invalid_argument("ShardGroup needs at least one shard");
+  }
+  if (lookahead_ <= 0) {
+    throw std::invalid_argument(
+        "ShardGroup lookahead must be positive; cross-shard messages must "
+        "carry a minimum delay");
+  }
+  std::size_t threads = options.threads;
+  if (threads == 0) {
+    const std::size_t hw = std::thread::hardware_concurrency();
+    threads = std::max<std::size_t>(hw, 1);
+  }
+  threads_ = std::min(threads, shards_.size());
+  local_min_.assign(shards_.size(), kTimeNever);
+  executed_.assign(shards_.size(), 0);
+  phase_wall_.assign(shards_.size(), 0.0);
+  if (threads_ > 1) pool_ = std::make_unique<Pool>(*this);
+}
+
+ShardGroup::~ShardGroup() = default;
+
+void ShardGroup::run_shard_phase(std::size_t s) {
+  ShardExecutor* shard = shards_[s];
+  if (phase_ == Phase::kMinScan) {
+    shard->deliver_inbound();
+    local_min_[s] = shard->next_event_time();
+    return;
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  executed_[s] += shard->advance_to(horizon_);
+  phase_wall_[s] = seconds_since(t0);
+}
+
+std::uint64_t ShardGroup::run_until(SimTime deadline) {
+  const std::uint64_t before =
+      std::accumulate(executed_.begin(), executed_.end(), std::uint64_t{0});
+  auto run_phase = [this] {
+    if (pool_ != nullptr) {
+      pool_->run_phase();
+    } else {
+      for (std::size_t s = 0; s < shards_.size(); ++s) run_shard_phase(s);
+    }
+  };
+
+  for (;;) {
+    phase_ = Phase::kMinScan;
+    run_phase();
+    SimTime global_min = kTimeNever;
+    for (SimTime t : local_min_) global_min = std::min(global_min, t);
+    if (global_min > deadline) break;
+
+    // Safe horizon: every event at or after global_min produces cross-shard
+    // messages due >= global_min + lookahead, i.e. strictly beyond it.
+    assert(lookahead_ > 0);
+    const SimTime horizon =
+        std::min(global_min + lookahead_ - 1, deadline);
+    phase_ = Phase::kAdvance;
+    horizon_ = horizon;
+    run_phase();
+
+    ++stats_.rounds;
+    double worst = 0.0;
+    for (double w : phase_wall_) {
+      stats_.serial_s += w;
+      worst = std::max(worst, w);
+    }
+    stats_.critical_s += worst;
+  }
+
+  // No shard has events at or before the deadline; align all clocks so the
+  // group's notion of "now" is well defined between calls.
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    executed_[s] += shards_[s]->advance_to(deadline);
+  }
+  const std::uint64_t after =
+      std::accumulate(executed_.begin(), executed_.end(), std::uint64_t{0});
+  return after - before;
+}
+
+}  // namespace atcsim::sim

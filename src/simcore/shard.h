@@ -1,0 +1,126 @@
+// Conservative parallel DES: the shard-local executor interface and the
+// barrier-synchronous round synchronizer (DESIGN.md §10).
+//
+// A sharded run partitions the model into K independent shards, each with
+// its own Simulation/event-queue state.  The only cross-shard interaction
+// is message exchange with a known minimum delay L (the lookahead): a
+// message produced at local time t is due no earlier than t + L.  That
+// bound makes the classic CMB-style round protocol safe:
+//
+//   repeat:
+//     A. every shard drains its inbound mailboxes in canonical order and
+//        reports the time of its earliest pending event;
+//     -- barrier --
+//     let m = min over shards of those times; stop if m > deadline;
+//     B. every shard advances to horizon = min(m + L - 1, deadline);
+//     -- barrier --
+//
+// Proof sketch: any message produced during phase B originates at some
+// event time t >= m, so it is due at t + L >= m + L > horizon — strictly
+// after every clock in the round.  Delivering it at the next phase A can
+// therefore never schedule an event in a shard's past.  SimTime is integer
+// nanoseconds, which is what makes the `- 1` an exclusive bound.
+//
+// Determinism: for a fixed shard map the outcome is independent of the
+// worker-thread count by construction.  Each shard's state is touched only
+// by the (fixed) thread that owns it, inbound messages are delivered in
+// canonical order (source shards in index order, FIFO within each), and
+// the horizon is a function of the shards' local minima only — no wall
+// clock, no thread identity, no atomics-race anywhere in the protocol.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "simcore/time.h"
+
+namespace atcsim::sim {
+
+/// What one shard exposes to the synchronizer: an id, a cross-shard packet
+/// port (deliver_inbound), and horizon advance.  The model side (Scenario)
+/// implements this over one Simulation + Platform + VirtualNetwork stack.
+class ShardExecutor {
+ public:
+  virtual ~ShardExecutor() = default;
+
+  virtual int shard_id() const = 0;
+
+  /// Time of the earliest pending local event, or kTimeNever when drained.
+  virtual SimTime next_event_time() const = 0;
+
+  /// Drains this shard's inbound mailboxes (canonical order), scheduling
+  /// the carried events locally.  Runs only between rounds, so it may not
+  /// assume any particular clock beyond "due times are in the future".
+  virtual void deliver_inbound() = 0;
+
+  /// Runs local events up to and including `horizon`, advancing the local
+  /// clock to `horizon`; returns the number of events executed.
+  virtual std::uint64_t advance_to(SimTime horizon) = 0;
+};
+
+/// Runs a set of ShardExecutors under the round protocol above, on a
+/// persistent fork-join worker pool.  Shard s is always processed by worker
+/// s % threads, so shard state needs no locking; the two condvar barriers
+/// per round are the only synchronization.
+class ShardGroup {
+ public:
+  struct Options {
+    /// Cross-shard lookahead L (minimum message delay); must be positive.
+    SimTime lookahead = 0;
+    /// Worker threads; 0 picks min(shards, hardware_concurrency).  With 1
+    /// the group runs the same protocol sequentially on the calling thread
+    /// (no pool, no barriers) — the output is identical either way.
+    std::size_t threads = 0;
+  };
+
+  /// Wall-clock accounting of the parallel phases, for speedup reporting on
+  /// hosts with fewer cores than shards: `critical_s` sums the slowest
+  /// shard's wall time per round (the span a perfectly parallel run cannot
+  /// beat) while `serial_s` sums all shards' work.
+  struct Stats {
+    std::uint64_t rounds = 0;
+    double critical_s = 0.0;
+    double serial_s = 0.0;
+  };
+
+  ShardGroup(std::vector<ShardExecutor*> shards, Options options);
+  ~ShardGroup();
+
+  ShardGroup(const ShardGroup&) = delete;
+  ShardGroup& operator=(const ShardGroup&) = delete;
+
+  /// Runs rounds until every shard's next local event lies beyond
+  /// `deadline`, then aligns all shard clocks to `deadline`.  Returns the
+  /// total number of events executed.  Deadlines must be non-decreasing
+  /// across calls (as with Simulation::run_until).
+  std::uint64_t run_until(SimTime deadline);
+
+  const Stats& stats() const { return stats_; }
+  std::size_t thread_count() const { return threads_; }
+  SimTime lookahead() const { return lookahead_; }
+
+ private:
+  struct Pool;
+
+  /// One shard's work for the current phase; called from the owning worker.
+  void run_shard_phase(std::size_t s);
+
+  std::vector<ShardExecutor*> shards_;
+  SimTime lookahead_;
+  std::size_t threads_;
+  Stats stats_;
+
+  // Per-round scratch, indexed by shard; written only by the shard's owner
+  // between barriers, read by the coordinator after the join.
+  std::vector<SimTime> local_min_;
+  std::vector<std::uint64_t> executed_;
+  std::vector<double> phase_wall_;
+  enum class Phase { kMinScan, kAdvance };
+  Phase phase_ = Phase::kMinScan;
+  SimTime horizon_ = 0;
+
+  std::unique_ptr<Pool> pool_;  ///< nullptr when threads_ == 1
+};
+
+}  // namespace atcsim::sim

@@ -10,9 +10,21 @@
 
 namespace atcsim::sim {
 
-/// Single-threaded discrete-event simulation.  All model components hold a
-/// reference to one Simulation and schedule work through it.  Runs are
-/// deterministic: same model + same seed => identical event order.
+/// Single-threaded discrete-event simulation — THE scheduling facade.
+///
+/// All model components hold a reference to one Simulation and schedule
+/// work exclusively through this surface:
+///
+///   one-shot:  call_in / call_at / cancel
+///   recurring: make_timer / arm_at / arm_in / disarm
+///
+/// EventQueue underneath is an implementation detail; its raw schedule/pop
+/// API is internal (only this class and its tests touch it), so a shard
+/// executor built over a Simulation exposes exactly one scheduling API.
+/// Runs are deterministic: same model + same seed => identical event order.
+/// In a sharded run (simcore/shard.h) each shard owns one Simulation;
+/// nothing here is thread-aware because a shard is only ever touched by its
+/// owning worker between barriers.
 class Simulation {
  public:
   Simulation() = default;
@@ -60,6 +72,13 @@ class Simulation {
 
   /// Total events executed since construction.
   std::uint64_t events_executed() const { return events_executed_; }
+
+  /// Time of the earliest pending event, or kTimeNever when the queue is
+  /// empty.  The conservative synchronizer reduces this across shards to
+  /// pick each round's horizon.
+  SimTime next_event_time() const {
+    return queue_.empty() ? kTimeNever : queue_.next_time();
+  }
 
   std::size_t pending_events() const { return queue_.size(); }
 

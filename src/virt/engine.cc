@@ -148,7 +148,7 @@ void Engine::dispatch(Pcpu& p) {
   v->mutable_totals().dispatches += 1;
 
   const SimTime now = sim_->now();
-  const SimTime slice = platform_->rng().jittered(
+  const SimTime slice = platform_->dispatch_rng(p.node()).jittered(
       std::max(p.node().scheduler().slice_for(*v), mp.min_time_slice),
       mp.slice_jitter);
   p.eng().slice_end = now + slice;

@@ -92,6 +92,29 @@ struct ModelParams {
   /// Guest-side cost to post or receive one packet.
   SimTime guest_packet_cost = 3_us;
 
+  // --- Sharded execution (conservative PDES; DESIGN.md §10) -------------
+  /// When true, slice-jitter and scheduler randomness derive from per-node
+  /// streams keyed by the *global* node id instead of the shared platform
+  /// stream.  Makes scheduling randomness independent of how nodes are
+  /// partitioned into shards, so `shards ∈ {1,2,4,8}` produce identical
+  /// results for a fixed shard map.  Off by default: the legacy shared
+  /// stream is what the committed golden traces were recorded with, and
+  /// Scenario forces this on automatically whenever shards > 1.
+  bool per_node_streams = false;
+
+  /// Smallest cross-shard lookahead the conservative synchronizer will
+  /// accept.  The lookahead horizon is wire_latency (every cross-shard
+  /// packet pays at least one wire delay); building a sharded scenario with
+  /// wire_latency below this floor throws, because rounds that advance less
+  /// than the floor per barrier synchronize more than they simulate.
+  SimTime pdes_lookahead_floor = 1_us;
+
+  /// Initial capacity of each per-(src,dst) shard mailbox, in packets.  The
+  /// mailboxes retain their high-water capacity across rounds (the same
+  /// policy as dom0_ring_slots), so this only sets the cold-start size of
+  /// one round's cross-shard exchange batch.
+  std::size_t pdes_mailbox_slots = 256;
+
   // --- Disk (blkback path) ----------------------------------------------
   /// Device service latency per request once dom0 has issued it.
   SimTime disk_latency = 150_us;

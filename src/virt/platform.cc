@@ -7,9 +7,30 @@
 
 namespace atcsim::virt {
 
+namespace {
+/// Salts separating the derived per-node stream families from each other
+/// and from app-level splits of the shared stream.
+constexpr std::uint64_t kDispatchStreamSalt = 0xD15BA7C4ULL;
+constexpr std::uint64_t kSchedStreamSalt = 0x5C4EDC4EULL;
+
+/// Pure function of (seed, salt, global node id): a fresh parent per call
+/// makes the stream independent of every other draw in the run.
+sim::Rng derived_stream(std::uint64_t seed, std::uint64_t salt, int gid) {
+  sim::Rng parent(seed);
+  return parent.split(salt + static_cast<std::uint64_t>(gid));
+}
+}  // namespace
+
 Platform::Platform(sim::Simulation& simulation, PlatformConfig config)
     : sim_(&simulation), config_(config), rng_(config.seed) {
   assert(config_.nodes > 0 && config_.pcpus_per_node > 0);
+  if (config_.params.per_node_streams) {
+    node_streams_.reserve(static_cast<std::size_t>(config_.nodes));
+    for (int n = 0; n < config_.nodes; ++n) {
+      node_streams_.push_back(derived_stream(config_.seed, kDispatchStreamSalt,
+                                             config_.node_id_offset + n));
+    }
+  }
   nodes_.reserve(static_cast<std::size_t>(config_.nodes));
   for (int n = 0; n < config_.nodes; ++n) {
     auto node = std::make_unique<Node>(NodeId{n}, *this, n);
@@ -23,12 +44,22 @@ Platform::Platform(sim::Simulation& simulation, PlatformConfig config)
   }
   engine_ = std::make_unique<Engine>(simulation, *this);
   // Every node gets a driver domain; net/disk backends attach workloads.
+  // Named by global node id so names stay unique and stable across shard
+  // maps (offset is 0 on unsharded platforms).
   for (auto& node : nodes_) {
     Vm& dom0 = create_vm(node->id(), VmType::kDom0,
-                         "dom0-n" + std::to_string(node->index()),
+                         "dom0-n" + std::to_string(global_node_id(*node)),
                          config_.dom0_vcpus);
     node->set_dom0(&dom0);
   }
+}
+
+sim::Rng Platform::scheduler_rng(Node& node) {
+  if (!config_.params.per_node_streams) {
+    return rng_.split(static_cast<std::uint64_t>(node.index()) + 0x5EED);
+  }
+  return derived_stream(config_.seed, kSchedStreamSalt,
+                        global_node_id(node));
 }
 
 Platform::~Platform() = default;

@@ -12,7 +12,12 @@
 #include "virt/node.h"
 #include "virt/params.h"
 
-namespace atcsim::virt {
+namespace atcsim {
+namespace net {
+class VirtualNetwork;
+}  // namespace net
+
+namespace virt {
 
 class Engine;
 
@@ -22,6 +27,12 @@ struct PlatformConfig {
   int dom0_vcpus = 1;
   ModelParams params;
   std::uint64_t seed = 1;
+  /// Global id of this platform's first node.  A sharded scenario carves
+  /// the cluster into contiguous node blocks, one Platform per shard; the
+  /// offset keeps node-derived identities (dom0 names, per-node RNG
+  /// streams) functions of the *global* node id, so results do not depend
+  /// on where the shard boundaries fall.  0 for unsharded platforms.
+  int node_id_offset = 0;
 };
 
 class Platform {
@@ -36,6 +47,32 @@ class Platform {
   const ModelParams& params() const { return config_.params; }
   const PlatformConfig& config() const { return config_; }
   sim::Rng& rng() { return rng_; }
+
+  /// Global node id of a node owned by this platform (node_id_offset plus
+  /// the node's local index); shard-map independent.
+  int global_node_id(const Node& node) const {
+    return config_.node_id_offset + node.index();
+  }
+
+  /// Stream for dispatch-time slice jitter on `node`.  With
+  /// ModelParams::per_node_streams this is a per-node stream keyed by the
+  /// global node id; otherwise it is the legacy shared platform stream.
+  sim::Rng& dispatch_rng(Node& node) {
+    return node_streams_.empty()
+               ? rng_
+               : node_streams_[static_cast<std::size_t>(node.index())];
+  }
+
+  /// Seed stream handed to `node`'s scheduler at attach.  The legacy branch
+  /// reproduces the historical split (and its mutation of the shared
+  /// stream) bit for bit; the per-node branch is a pure function of
+  /// (seed, global node id).
+  sim::Rng scheduler_rng(Node& node);
+
+  /// Owning network, set by VirtualNetwork::attach().  Lets cross-shard
+  /// senders route a packet to the shard that owns its source VM.
+  void set_network(net::VirtualNetwork* net) { network_ = net; }
+  net::VirtualNetwork* network() const { return network_; }
 
   /// Creates a guest VM on `node` with `vcpus` VCPUs.  Workloads must be
   /// attached to each VCPU before Engine::start().
@@ -62,12 +99,16 @@ class Platform {
   sim::Simulation* sim_;
   PlatformConfig config_;
   sim::Rng rng_;
+  /// Per-node dispatch-jitter streams; empty unless per_node_streams.
+  std::vector<sim::Rng> node_streams_;
   std::vector<std::unique_ptr<Node>> nodes_;
   // Flat id-indexed views (non-owning; owners are the nodes).
   std::vector<Vm*> vms_;
   std::vector<Vcpu*> vcpus_;
   std::vector<Pcpu*> pcpus_;
   std::unique_ptr<Engine> engine_;
+  net::VirtualNetwork* network_ = nullptr;
 };
 
-}  // namespace atcsim::virt
+}  // namespace virt
+}  // namespace atcsim

@@ -8,11 +8,16 @@ namespace atcsim::workload {
 
 using sim::SimTime;
 
-BspApp::BspApp(net::VirtualNetwork& net, std::vector<virt::Vm*> vms,
-               BspConfig cfg, sim::Rng rng,
+net::VirtualNetwork& BspApp::net_of(virt::Vm& vm) {
+  net::VirtualNetwork* net = vm.node().platform().network();
+  assert(net != nullptr && "VirtualNetwork::attach() must run before BSP");
+  return *net;
+}
+
+BspApp::BspApp(std::vector<virt::Vm*> vms, BspConfig cfg, sim::Rng rng,
                metrics::DurationRecorder* superstep_rec,
                metrics::DurationRecorder* iteration_rec)
-    : net_(&net), cfg_(cfg), rng_(rng), vm_ptrs_(std::move(vms)),
+    : cfg_(cfg), rng_(rng), vm_ptrs_(std::move(vms)),
       superstep_rec_(superstep_rec), iteration_rec_(iteration_rec) {
   if (cfg_.sync_rounds < 1 || cfg_.sync_rounds > 32) {
     throw std::invalid_argument(
@@ -32,12 +37,15 @@ BspApp::BspApp(net::VirtualNetwork& net, std::vector<virt::Vm*> vms,
     // that capacity here keeps even the first pass over the ring — the
     // phase measured by short benchmark windows — allocation-free.
     const std::size_t max_waiters = vm_ptrs_[i]->vcpu_count();
+    // Barrier events live on the owning VM's engine: in a sharded run a
+    // spin-wait and its release must both happen on the VM's own shard.
+    virt::Engine& engine = vs.vm->node().platform().engine();
     for (GenSlot& gs : vs.gens) {
-      gs.release = std::make_unique<virt::SyncEvent>(net_->engine());
+      gs.release = std::make_unique<virt::SyncEvent>(engine);
       gs.release->reserve(max_waiters);
       gs.local.reserve(static_cast<std::size_t>(cfg_.sync_rounds - 1));
       for (int seg = 0; seg < cfg_.sync_rounds - 1; ++seg) {
-        gs.local.push_back(std::make_unique<virt::SyncEvent>(net_->engine()));
+        gs.local.push_back(std::make_unique<virt::SyncEvent>(engine));
         gs.local.back()->reserve(max_waiters);
       }
       gs.local_arrivals.assign(static_cast<std::size_t>(cfg_.sync_rounds - 1),
@@ -91,8 +99,8 @@ virt::SyncEvent& BspApp::rank_arrived(int vm_index, std::uint64_t gen) {
     if (vm_index == 0) {
       coordinator_arrive(gen);
     } else {
-      net_->send(*vs.vm, *vms_[0].vm, cfg_.bytes_per_msg,
-                 [this, gen] { coordinator_arrive(gen); });
+      net_of(*vs.vm).send(*vs.vm, *vms_[0].vm, cfg_.bytes_per_msg,
+                          [this, gen] { coordinator_arrive(gen); });
     }
   }
   return release;
@@ -107,7 +115,10 @@ void BspApp::coordinator_arrive(std::uint64_t gen) {
 }
 
 void BspApp::release_generation(std::uint64_t gen) {
-  const SimTime now = net_->simulation().now();
+  // Superstep timestamps come from the coordinator shard's clock; both ends
+  // of every recorded interval are taken here, so they stay consistent.
+  const SimTime now =
+      vms_[0].vm->node().platform().simulation().now();
   if (superstep_rec_ != nullptr) {
     superstep_rec_->record(now - superstep_start_);
   }
@@ -122,10 +133,11 @@ void BspApp::release_generation(std::uint64_t gen) {
 
   release_event(0, gen).signal();
   for (std::size_t i = 1; i < vms_.size(); ++i) {
-    net_->send(*vms_[0].vm, *vms_[i].vm, cfg_.bytes_per_msg,
-               [this, i, gen] {
-                 release_event(static_cast<int>(i), gen).signal();
-               });
+    net_of(*vms_[0].vm).send(*vms_[0].vm, *vms_[i].vm, cfg_.bytes_per_msg,
+                             [this, i, gen] {
+                               release_event(static_cast<int>(i), gen)
+                                   .signal();
+                             });
   }
 
   // Recycle: by the time generation g is released, every rank has passed

@@ -48,11 +48,19 @@ struct BspConfig {
 class BspRank;
 
 /// One parallel application running on a virtual cluster of VMs.
+///
+/// Shard-aware: the VMs of one virtual cluster may live on different
+/// shards' platforms.  Every per-VM resource (barrier SyncEvents, message
+/// sends) is bound to the owning VM's engine/network, and coordinator-side
+/// state is only ever touched from the coordinator VM's shard — either
+/// directly (VM 0's own ranks) or via message delivery, which establishes
+/// the required happens-before through the round barriers.
 class BspApp {
  public:
   /// Throws std::invalid_argument when cfg.sync_rounds is outside [1, 32].
-  BspApp(net::VirtualNetwork& net, std::vector<virt::Vm*> vms, BspConfig cfg,
-         sim::Rng rng, metrics::DurationRecorder* superstep_rec,
+  /// Each VM uses its own platform's network; vms[0] is the coordinator.
+  BspApp(std::vector<virt::Vm*> vms, BspConfig cfg, sim::Rng rng,
+         metrics::DurationRecorder* superstep_rec,
          metrics::DurationRecorder* iteration_rec);
   ~BspApp();
 
@@ -112,7 +120,9 @@ class BspApp {
         .gens[gen & (kGenWindow - 1)];
   }
 
-  net::VirtualNetwork* net_;
+  /// Network of `vm`'s shard (the platform back-pointer set at attach()).
+  static net::VirtualNetwork& net_of(virt::Vm& vm);
+
   BspConfig cfg_;
   sim::Rng rng_;
   std::vector<VmState> vms_;

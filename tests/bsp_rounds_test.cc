@@ -36,8 +36,7 @@ struct Rig {
         virt::NodeId{0}, virt::VmType::kParallel,
         "bsp" + std::to_string(platform->vm_count()), vcpus);
     apps.push_back(std::make_unique<workload::BspApp>(
-        *network, std::vector<virt::Vm*>{&vm}, cfg, sim::Rng(9), nullptr,
-        nullptr));
+        std::vector<virt::Vm*>{&vm}, cfg, sim::Rng(9), nullptr, nullptr));
     apps.back()->attach();
     return *apps.back();
   }
@@ -123,16 +122,16 @@ TEST(BspRoundsTest, RejectsOutOfRangeSyncRounds) {
                                          virt::VmType::kParallel, "bsp-v", 2);
   const std::vector<virt::Vm*> vms{&vm};
   for (int rounds : {0, -1, 33, 100}) {
-    EXPECT_THROW(workload::BspApp(*rig.network, vms, cfg_with_rounds(rounds),
-                                  sim::Rng(9), nullptr, nullptr),
+    EXPECT_THROW(workload::BspApp(vms, cfg_with_rounds(rounds), sim::Rng(9),
+                                  nullptr, nullptr),
                  std::invalid_argument)
         << "sync_rounds=" << rounds << " should be rejected";
   }
   // Boundaries of the documented [1, 32] range are accepted.
-  EXPECT_NO_THROW(workload::BspApp(*rig.network, vms, cfg_with_rounds(1),
-                                   sim::Rng(9), nullptr, nullptr));
-  EXPECT_NO_THROW(workload::BspApp(*rig.network, vms, cfg_with_rounds(32),
-                                   sim::Rng(9), nullptr, nullptr));
+  EXPECT_NO_THROW(workload::BspApp(vms, cfg_with_rounds(1), sim::Rng(9),
+                                   nullptr, nullptr));
+  EXPECT_NO_THROW(workload::BspApp(vms, cfg_with_rounds(32), sim::Rng(9),
+                                   nullptr, nullptr));
 }
 
 TEST(BspRoundsTest, JitterSpreadsArrivals) {

@@ -84,10 +84,8 @@ TEST(ApproachTest, NamesAndCount) {
 }
 
 TEST(ScenarioTest, IdenticalClustersBuildTypeALayout) {
-  Scenario::Setup setup;
-  setup.nodes = 2;
-  setup.approach = Approach::kCR;
-  Scenario s(setup);
+  auto sp = ScenarioBuilder{}.nodes(2).approach(Approach::kCR).build();
+  Scenario& s = *sp;
   build_type_a(s, "cg", workload::NpbClass::kB);
   // 4 clusters x 2 VMs + 2 dom0 = 10 VMs.
   EXPECT_EQ(s.platform().vm_count(), 10u);
@@ -100,10 +98,8 @@ TEST(ScenarioTest, IdenticalClustersBuildTypeALayout) {
 }
 
 TEST(ScenarioTest, TypeBBuildsPaperConfiguration) {
-  Scenario::Setup setup;
-  setup.nodes = 32;
-  setup.approach = Approach::kCR;
-  Scenario s(setup);
+  auto sp = ScenarioBuilder{}.nodes(32).approach(Approach::kCR).build();
+  Scenario& s = *sp;
   const TypeBLayout layout = build_type_b(s);
   EXPECT_EQ(layout.vc_keys.size(), 10u);
   EXPECT_EQ(layout.independent_keys.size(), 30u);  // 128 - 98 (paper: "30")
@@ -120,20 +116,16 @@ TEST(ScenarioTest, TypeBBuildsPaperConfiguration) {
 
 TEST(ScenarioTest, TypeBDeterministicPerSeed) {
   auto keys = [](std::uint64_t seed) {
-    Scenario::Setup setup;
-    setup.nodes = 32;
-    setup.seed = seed;
-    Scenario s(setup);
-    return build_type_b(s).vc_keys;
+    auto s = ScenarioBuilder{}.nodes(32).seed(seed).build();
+    return build_type_b(*s).vc_keys;
   };
   EXPECT_EQ(keys(1), keys(1));
   EXPECT_NE(keys(1), keys(2));  // app draws differ
 }
 
 TEST(ScenarioTest, MixedLayoutContainsEveryAppKind) {
-  Scenario::Setup setup;
-  setup.nodes = 32;
-  Scenario s(setup);
+  auto sp = ScenarioBuilder{}.nodes(32).build();
+  Scenario& s = *sp;
   const MixedLayout layout = build_mixed(s);
   EXPECT_EQ(layout.vc_keys.size(), 10u);
   EXPECT_FALSE(layout.web_keys.empty());
@@ -146,13 +138,14 @@ TEST(ScenarioTest, MixedLayoutContainsEveryAppKind) {
 
 TEST(ScenarioTest, RunsEndToEndWithEveryApproach) {
   for (Approach a : all_approaches()) {
-    Scenario::Setup setup;
-    setup.nodes = 1;
-    setup.vms_per_node = 2;
-    setup.vcpus_per_vm = 2;
-    setup.pcpus_per_node = 2;
-    setup.approach = a;
-    Scenario s(setup);
+    auto sp = ScenarioBuilder{}
+                  .nodes(1)
+                  .vms_per_node(2)
+                  .vcpus_per_vm(2)
+                  .pcpus_per_node(2)
+                  .approach(a)
+                  .build();
+    Scenario& s = *sp;
     workload::BspConfig cfg;
     cfg.compute_per_superstep = 2_ms;
     auto vms = s.create_cluster_vms("vc", {0, 0});
@@ -164,12 +157,13 @@ TEST(ScenarioTest, RunsEndToEndWithEveryApproach) {
 }
 
 TEST(ScenarioTest, WarmupResetExcludesEarlySamples) {
-  Scenario::Setup setup;
-  setup.nodes = 1;
-  setup.vms_per_node = 2;
-  setup.vcpus_per_vm = 2;
-  setup.pcpus_per_node = 2;
-  Scenario s(setup);
+  auto sp = ScenarioBuilder{}
+                .nodes(1)
+                .vms_per_node(2)
+                .vcpus_per_vm(2)
+                .pcpus_per_node(2)
+                .build();
+  Scenario& s = *sp;
   workload::BspConfig cfg;
   cfg.compute_per_superstep = 2_ms;
   auto vms = s.create_cluster_vms("vc", {0, 0});
@@ -185,9 +179,8 @@ TEST(ScenarioTest, WarmupResetExcludesEarlySamples) {
 }
 
 TEST(ScenarioTest, MeanSuperstepPrefixAveragesClusters) {
-  Scenario::Setup setup;
-  setup.nodes = 2;
-  Scenario s(setup);
+  auto sp = ScenarioBuilder{}.nodes(2).build();
+  Scenario& s = *sp;
   build_type_a(s, "bt", workload::NpbClass::kB);
   s.start();
   s.warmup_and_measure(500_ms, 2_s);
@@ -206,12 +199,20 @@ TEST(ScenarioTest, MeanSuperstepPrefixAveragesClusters) {
 
 #if ATCSIM_TRACE_ENABLED
 
-// The deprecated Scenario::Setup constructor and ScenarioBuilder must stay
-// drop-in equivalent while the shim exists: identical inputs have to yield
-// an identical engine, which the structured trace verifies byte-for-byte —
-// a far stronger oracle than spot-checking a few aggregate metrics.
-TEST(ScenarioSetupShimTest, SetupAndBuilderProduceIdenticalRuns) {
-  auto run = [](std::unique_ptr<Scenario> s) {
+// ScenarioBuilder is the only construction path; two builds from identical
+// inputs have to yield an identical engine, which the structured trace
+// verifies byte-for-byte — a far stronger oracle than spot-checking a few
+// aggregate metrics.
+TEST(ScenarioBuilderTest, IdenticalInputsProduceIdenticalRuns) {
+  auto run = [] {
+    auto s = ScenarioBuilder{}
+                 .nodes(2)
+                 .pcpus_per_node(2)
+                 .vms_per_node(2)
+                 .vcpus_per_vm(2)
+                 .approach(Approach::kATC)
+                 .seed(11)
+                 .build();
     obs::TraceConfig cfg;
     cfg.capacity = 0;
     s->enable_tracing(cfg);
@@ -223,29 +224,13 @@ TEST(ScenarioSetupShimTest, SetupAndBuilderProduceIdenticalRuns) {
     return std::make_pair(os.str(), s->simulation().events_executed());
   };
 
-  Scenario::Setup setup;
-  setup.nodes = 2;
-  setup.pcpus_per_node = 2;
-  setup.vms_per_node = 2;
-  setup.vcpus_per_vm = 2;
-  setup.approach = Approach::kATC;
-  setup.seed = 11;
-  const auto via_setup = run(std::make_unique<Scenario>(setup));
-
-  const auto via_builder = run(ScenarioBuilder{}
-                                   .nodes(2)
-                                   .pcpus_per_node(2)
-                                   .vms_per_node(2)
-                                   .vcpus_per_vm(2)
-                                   .approach(Approach::kATC)
-                                   .seed(11)
-                                   .build());
-
-  EXPECT_EQ(via_setup.second, via_builder.second)
-      << "event counts diverged between Setup shim and ScenarioBuilder";
-  EXPECT_TRUE(via_setup.first == via_builder.first)
-      << "traces diverged: the Setup shim no longer matches ScenarioBuilder";
-  EXPECT_FALSE(via_setup.first.empty());
+  const auto first = run();
+  const auto second = run();
+  EXPECT_EQ(first.second, second.second)
+      << "event counts diverged between identical builder runs";
+  EXPECT_TRUE(first.first == second.first)
+      << "traces diverged between identical builder runs";
+  EXPECT_FALSE(first.first.empty());
 }
 
 #endif  // ATCSIM_TRACE_ENABLED

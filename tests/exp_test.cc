@@ -124,10 +124,10 @@ TEST(ScenarioBuilderTest, BuildsConfiguredScenario) {
                .approach(cluster::Approach::kATC)
                .seed(99)
                .build();
-  EXPECT_EQ(s->setup().nodes, 3);
-  EXPECT_EQ(s->setup().vcpus_per_vm, 2);
-  EXPECT_EQ(s->setup().approach, cluster::Approach::kATC);
-  EXPECT_EQ(s->setup().seed, 99u);
+  EXPECT_EQ(s->config().nodes, 3);
+  EXPECT_EQ(s->config().vcpus_per_vm, 2);
+  EXPECT_EQ(s->config().approach, cluster::Approach::kATC);
+  EXPECT_EQ(s->config().seed, 99u);
 }
 
 exp::TrialResult fake_trial(const exp::Trial& t,

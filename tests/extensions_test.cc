@@ -52,8 +52,7 @@ struct ClsRig {
     workload::BspConfig cfg;
     cfg.compute_per_superstep = 2_ms;
     apps.push_back(std::make_unique<workload::BspApp>(
-        *network, std::vector<virt::Vm*>{&vm}, cfg, sim::Rng(1), nullptr,
-        nullptr));
+        std::vector<virt::Vm*>{&vm}, cfg, sim::Rng(1), nullptr, nullptr));
     apps.back()->attach();
     return vm;
   }
@@ -107,12 +106,15 @@ TEST(AtcAutoClassifyTest, MatchesDeclaredTypesEndToEnd) {
   // with every guest mislabelled kNonParallel + auto_classify.  ATC must
   // accelerate the parallel app in both.
   auto run = [](bool auto_classify) {
-    Scenario::Setup setup;
-    setup.nodes = 2;
-    setup.approach = Approach::kATC;
-    setup.seed = 42;
-    setup.atc.auto_classify = auto_classify;
-    Scenario s(setup);
+    atc::AtcConfig atc_cfg;
+    atc_cfg.auto_classify = auto_classify;
+    auto sp = cluster::ScenarioBuilder{}
+                  .nodes(2)
+                  .approach(Approach::kATC)
+                  .seed(42)
+                  .atc(atc_cfg)
+                  .build();
+    Scenario& s = *sp;
     cluster::build_type_a(s, "lu", workload::NpbClass::kB);
     if (auto_classify) {
       // Erase the declared types: the controller must rediscover them.
@@ -133,12 +135,15 @@ TEST(AtcAutoClassifyTest, MatchesDeclaredTypesEndToEnd) {
 }
 
 TEST(AtcAdaptiveNonParallelTest, LatencySensitiveVmGetsShortSlice) {
-  Scenario::Setup setup;
-  setup.nodes = 2;
-  setup.approach = Approach::kATC;
-  setup.seed = 9;
-  setup.atc.adaptive_nonparallel = true;
-  Scenario s(setup);
+  atc::AtcConfig atc_cfg;
+  atc_cfg.adaptive_nonparallel = true;
+  auto sp = cluster::ScenarioBuilder{}
+                .nodes(2)
+                .approach(Approach::kATC)
+                .seed(9)
+                .atc(atc_cfg)
+                .build();
+  Scenario& s = *sp;
   auto vms = s.create_cluster_vms("vc", {0, 1});
   s.add_bsp_app("vc", workload::npb_profile("cg", workload::NpbClass::kB),
                 std::move(vms));
@@ -147,8 +152,8 @@ TEST(AtcAdaptiveNonParallelTest, LatencySensitiveVmGetsShortSlice) {
       s.add_cpu_vm(1, workload::CpuBoundWorkload::gcc(), "gcc");  // never
   s.start();
   s.run_for(2_s);
-  EXPECT_EQ(web.time_slice(), s.setup().atc.latency_sensitive_slice);
-  EXPECT_EQ(cpu.time_slice(), s.setup().atc.default_slice);
+  EXPECT_EQ(web.time_slice(), s.config().atc.latency_sensitive_slice);
+  EXPECT_EQ(cpu.time_slice(), s.config().atc.default_slice);
 }
 
 // -------------------------------------------------------------- caps / pin

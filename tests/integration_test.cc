@@ -2,6 +2,8 @@
 // (fast) configurations, plus whole-stack determinism.
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "atc/controller.h"
 #include "cache/xenoprof.h"
 #include "cluster/scenario.h"
@@ -14,23 +16,23 @@ using namespace sim::time_literals;
 using cluster::Approach;
 using cluster::Scenario;
 
-Scenario::Setup small_setup(Approach a, std::uint64_t seed = 42) {
-  Scenario::Setup setup;
-  setup.nodes = 2;
-  setup.vms_per_node = 4;
-  setup.vcpus_per_vm = 8;
-  setup.pcpus_per_node = 8;
-  setup.approach = a;
-  setup.seed = seed;
-  return setup;
+std::unique_ptr<Scenario> small_scenario(Approach a, std::uint64_t seed = 42) {
+  return cluster::ScenarioBuilder{}
+      .nodes(2)
+      .vms_per_node(4)
+      .vcpus_per_vm(8)
+      .pcpus_per_node(8)
+      .approach(a)
+      .seed(seed)
+      .build();
 }
 
 double run_lu(Approach a, sim::SimTime warm = 2_s, sim::SimTime meas = 3_s) {
-  Scenario s(small_setup(a));
-  cluster::build_type_a(s, "lu", workload::NpbClass::kB);
-  s.start();
-  s.warmup_and_measure(warm, meas);
-  return s.mean_superstep_with_prefix("lu.B");
+  auto s = small_scenario(a);
+  cluster::build_type_a(*s, "lu", workload::NpbClass::kB);
+  s->start();
+  s->warmup_and_measure(warm, meas);
+  return s->mean_superstep_with_prefix("lu.B");
 }
 
 TEST(IntegrationTest, AtcBeatsCreditByPaperMagnitude) {
@@ -55,23 +57,25 @@ TEST(IntegrationTest, ApproachOrderingMatchesPaper) {
 }
 
 TEST(IntegrationTest, AtcConvergesToMinThreshold) {
-  Scenario s(small_setup(Approach::kATC));
+  auto sp = small_scenario(Approach::kATC);
+  Scenario& s = *sp;
   cluster::build_type_a(s, "lu", workload::NpbClass::kB);
   s.start();
   s.run_for(3_s);
   for (std::size_t i = 0; i < s.platform().vm_count(); ++i) {
     auto& vm = s.platform().vm(virt::VmId{(int)i});
     if (vm.is_parallel()) {
-      EXPECT_EQ(vm.time_slice(), s.setup().atc.min_threshold) << vm.name();
+      EXPECT_EQ(vm.time_slice(), s.config().atc.min_threshold) << vm.name();
     } else {
-      EXPECT_EQ(vm.time_slice(), s.setup().atc.default_slice) << vm.name();
+      EXPECT_EQ(vm.time_slice(), s.config().atc.default_slice) << vm.name();
     }
   }
 }
 
 TEST(IntegrationTest, ShorterSlicesReduceSpinLatency) {
   auto spin_at = [](sim::SimTime slice) {
-    Scenario s(small_setup(Approach::kCR));
+    auto sp = small_scenario(Approach::kCR);
+    Scenario& s = *sp;
     cluster::build_type_a(s, "lu", workload::NpbClass::kB);
     s.start();
     for (std::size_t i = 0; i < s.platform().vm_count(); ++i) {
@@ -92,7 +96,8 @@ TEST(IntegrationTest, SpinLatencyCorrelatesWithExecutionTime) {
   // Fig. 5's r > 0.9 claim, on a reduced sweep.
   std::vector<double> spin, exec;
   for (sim::SimTime slice : {30_ms, 12_ms, 6_ms, 1_ms, 300_us}) {
-    Scenario s(small_setup(Approach::kCR));
+    auto sp = small_scenario(Approach::kCR);
+    Scenario& s = *sp;
     cluster::build_type_a(s, "cg", workload::NpbClass::kB);
     s.start();
     for (std::size_t i = 0; i < s.platform().vm_count(); ++i) {
@@ -110,7 +115,8 @@ TEST(IntegrationTest, OverShortSlicesHurt) {
   // Fig. 8: below the inflection point shorter slices cost more than the
   // spin-latency gain (context-switch + cache refill overhead).
   auto exec_at = [](sim::SimTime slice) {
-    Scenario s(small_setup(Approach::kCR));
+    auto sp = small_scenario(Approach::kCR);
+    Scenario& s = *sp;
     cluster::build_type_a(s, "lu", workload::NpbClass::kC);
     s.start();
     for (std::size_t i = 0; i < s.platform().vm_count(); ++i) {
@@ -125,7 +131,8 @@ TEST(IntegrationTest, OverShortSlicesHurt) {
 
 TEST(IntegrationTest, NonParallelAppUnaffectedByAtc30) {
   auto sphinx_rate = [](Approach a) {
-    Scenario s(small_setup(a, 7));
+    auto sp = small_scenario(a, 7);
+    Scenario& s = *sp;
     for (int j = 0; j < 3; ++j) {
       auto vms = s.create_cluster_vms("vc" + std::to_string(j), {0, 1});
       workload::BspConfig cfg =
@@ -145,7 +152,8 @@ TEST(IntegrationTest, NonParallelAppUnaffectedByAtc30) {
 
 TEST(IntegrationTest, Atc6msAdminSliceDegradesCpuApps) {
   auto sphinx_rate = [](bool admin6, std::uint64_t seed) {
-    Scenario s(small_setup(Approach::kATC, seed));
+    auto sp = small_scenario(Approach::kATC, seed);
+    Scenario& s = *sp;
     for (int j = 0; j < 3; ++j) {
       auto vms = s.create_cluster_vms("vc" + std::to_string(j), {0, 1});
       s.add_bsp_app("vc" + std::to_string(j),
@@ -172,7 +180,8 @@ TEST(IntegrationTest, Atc6msAdminSliceDegradesCpuApps) {
 
 TEST(IntegrationTest, WholeStackDeterminism) {
   auto fingerprint = [] {
-    Scenario s(small_setup(Approach::kATC));
+    auto sp = small_scenario(Approach::kATC);
+    Scenario& s = *sp;
     cluster::build_type_a(s, "mg", workload::NpbClass::kB);
     s.start();
     s.run_for(2_s);
@@ -187,7 +196,8 @@ TEST(IntegrationTest, WholeStackDeterminism) {
 
 TEST(IntegrationTest, SeedsChangeOutcomesSlightly) {
   auto mean_at = [](std::uint64_t seed) {
-    Scenario s(small_setup(Approach::kCR, seed));
+    auto sp = small_scenario(Approach::kCR, seed);
+    Scenario& s = *sp;
     cluster::build_type_a(s, "sp", workload::NpbClass::kB);
     s.start();
     s.warmup_and_measure(1_s, 2_s);
@@ -200,7 +210,8 @@ TEST(IntegrationTest, SeedsChangeOutcomesSlightly) {
 }
 
 TEST(IntegrationTest, XenoprofSamplerTracksMisses) {
-  Scenario s(small_setup(Approach::kCR));
+  auto sp = small_scenario(Approach::kCR);
+  Scenario& s = *sp;
   cluster::build_type_a(s, "lu", workload::NpbClass::kB);
   cache::XenoprofSampler sampler(s.platform(), 100_ms);
   sampler.start();

@@ -156,8 +156,7 @@ TEST(NetAllocGuardTest, BspSuperstepCycleSteadyStateIsAllocationFree) {
   workload::BspConfig cfg;
   cfg.compute_per_superstep = 600_us;
   cfg.sync_rounds = 3;
-  workload::BspApp app(network, vms, cfg, sim::Rng(9), &supersteps,
-                       &iterations);
+  workload::BspApp app(vms, cfg, sim::Rng(9), &supersteps, &iterations);
   app.attach();
   for (int n = 0; n < 2; ++n) {
     platform.set_scheduler(virt::NodeId{n},

@@ -1,0 +1,201 @@
+// Property tests for the sharded conservative-PDES engine (DESIGN.md §10).
+//
+// The two determinism contracts the shard-aware Scenario API makes:
+//
+//  1. shard-count invariance — with per-node RNG streams enabled, the
+//     simulated outcome is a pure function of (config, seed): carving the
+//     same cluster into 1, 2, 4 or 8 shards changes only who executes which
+//     events, never the events themselves;
+//  2. thread-count determinism — for a fixed shard map, the worker-thread
+//     count of the ShardGroup pool is invisible: merged trace artifacts are
+//     byte-identical whether rounds run on 1 thread or one per shard.
+//
+// Plus conservation (every cross-shard packet posted is delivered) and the
+// builder's rejection of unusable shard configurations.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <random>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "cluster/scenario.h"
+#include "cluster/scenarios.h"
+#include "net/fabric.h"
+#include "obs/export.h"
+#include "virt/params.h"
+#include "workload/apps.h"
+
+namespace atcsim {
+namespace {
+
+using namespace sim::time_literals;
+using cluster::Approach;
+using cluster::Scenario;
+using cluster::ScenarioBuilder;
+
+struct RunResult {
+  double superstep = 0.0;
+  double spin = 0.0;
+  double llc = 0.0;
+  std::uint64_t fabric_posted = 0;
+  std::uint64_t fabric_delivered = 0;
+  std::string trace;  // merged compact trace; empty unless requested
+};
+
+struct RunCase {
+  int nodes = 8;
+  int shards = 1;
+  std::uint64_t seed = 7;
+  Approach approach = Approach::kCR;
+  std::size_t threads = 0;   // ShardGroup workers; 0 = auto
+  bool trace = false;
+  std::string app = "lu";
+  workload::NpbClass cls = workload::NpbClass::kA;
+};
+
+// All metric aggregation paths sum integer counters before the final
+// divisions, so equal event histories give bit-equal doubles — the
+// comparisons below are exact on purpose.
+RunResult run_case(const RunCase& c) {
+  // Force per-node streams at every shard count: sharded runs always use
+  // them, and the unsharded baseline must draw from the same streams to be
+  // comparable (the legacy engine-order streams are a different sequence).
+  virt::ModelParams params;
+  params.per_node_streams = true;
+  ScenarioBuilder b;
+  b.nodes(c.nodes)
+      .approach(c.approach)
+      .seed(c.seed)
+      .params(params)
+      .shards(c.shards)
+      .shard_threads(c.threads);
+  if (c.trace) b.tracing();
+  auto sp = b.build();
+  Scenario& s = *sp;
+  cluster::build_type_a(s, c.app, c.cls);
+  s.start();
+  s.warmup_and_measure(500_ms, 1500_ms);
+
+  RunResult r;
+  r.superstep =
+      s.mean_superstep_with_prefix(c.app + workload::npb_class_suffix(c.cls));
+  r.spin = s.avg_parallel_spin_latency();
+  r.llc = s.llc_miss_rate();
+  if (const net::ShardFabric* f = s.fabric()) {
+    r.fabric_posted = f->posted();
+    r.fabric_delivered = f->delivered();
+  }
+  if (c.trace) {
+    std::ostringstream os;
+    obs::write_compact(os, s.trace_sinks());
+    r.trace = os.str();
+  }
+  return r;
+}
+
+void expect_equal_metrics(const RunResult& a, const RunResult& b,
+                          const std::string& what) {
+  EXPECT_EQ(a.superstep, b.superstep) << what;
+  EXPECT_EQ(a.spin, b.spin) << what;
+  EXPECT_EQ(a.llc, b.llc) << what;
+}
+
+TEST(PdesInvarianceTest, ShardCountLeavesMetricsUnchanged) {
+  RunCase base;
+  const RunResult serial = run_case(base);
+  ASSERT_GT(serial.superstep, 0.0) << "baseline recorded no supersteps";
+  for (int shards : {2, 4, 8}) {
+    RunCase c = base;
+    c.shards = shards;
+    const RunResult sharded = run_case(c);
+    expect_equal_metrics(serial, sharded,
+                         "shards=" + std::to_string(shards));
+    EXPECT_GT(sharded.fabric_posted, 0u)
+        << "no packet crossed a shard boundary; the invariance check would "
+           "be vacuous";
+  }
+}
+
+TEST(PdesInvarianceTest, RandomizedConfigurationsAreShardCountInvariant) {
+  std::mt19937_64 rng(0xA7C51DE5ULL);
+  const Approach approaches[] = {Approach::kCR, Approach::kCS,
+                                 Approach::kATC};
+  for (int i = 0; i < 4; ++i) {
+    RunCase base;
+    base.nodes = 4 + static_cast<int>(rng() % 5);  // 4..8
+    base.seed = rng();
+    base.approach = approaches[rng() % 3];
+    const RunResult serial = run_case(base);
+    ASSERT_GT(serial.superstep, 0.0);
+    for (int shards : {2, 4}) {
+      if (shards > base.nodes) continue;
+      RunCase c = base;
+      c.shards = shards;
+      expect_equal_metrics(serial, run_case(c),
+                           "nodes=" + std::to_string(base.nodes) +
+                               " seed=" + std::to_string(base.seed) +
+                               " shards=" + std::to_string(shards));
+    }
+  }
+}
+
+TEST(PdesInvarianceTest, WorkerThreadCountNeverChangesTheMergedTrace) {
+  RunCase base;
+  base.shards = 4;
+  base.trace = true;
+  base.threads = 1;
+  const RunResult one = run_case(base);
+  ASSERT_FALSE(one.trace.empty());
+  for (std::size_t threads : {std::size_t{2}, std::size_t{4}}) {
+    RunCase c = base;
+    c.threads = threads;
+    const RunResult many = run_case(c);
+    expect_equal_metrics(one, many,
+                         "threads=" + std::to_string(threads));
+    EXPECT_EQ(one.trace, many.trace)
+        << "merged trace differs at threads=" << threads;
+    EXPECT_EQ(one.fabric_posted, many.fabric_posted);
+  }
+}
+
+TEST(PdesInvarianceTest, FabricConservesCrossShardPackets) {
+  RunCase c;
+  c.shards = 4;
+  const RunResult r = run_case(c);
+  EXPECT_GT(r.fabric_posted, 0u);
+  // run_for() returns between rounds with every mailbox drained, so posted
+  // and delivered must agree exactly.
+  EXPECT_EQ(r.fabric_posted, r.fabric_delivered);
+}
+
+TEST(PdesInvarianceTest, ShardsOneKeepsLegacyStreamsAndShardingForcesPerNode) {
+  const auto serial = ScenarioBuilder{}.nodes(2).build();
+  EXPECT_FALSE(serial->config().params.per_node_streams)
+      << "shards=1 must keep the legacy (golden-trace) stream layout";
+  const auto sharded = ScenarioBuilder{}.nodes(2).shards(2).build();
+  EXPECT_TRUE(sharded->config().params.per_node_streams)
+      << "sharded runs must force per-node streams";
+}
+
+TEST(PdesInvarianceTest, BuilderRejectsUnusableShardCounts) {
+  for (int shards : {0, -1, 9}) {
+    EXPECT_THROW(ScenarioBuilder{}.nodes(8).shards(shards).validated(),
+                 std::invalid_argument)
+        << "shards=" << shards;
+  }
+  // A wire latency below the lookahead floor would make rounds advance less
+  // than a microsecond of simulated time each.
+  virt::ModelParams params;
+  params.wire_latency = 500;  // ns, below the 1us pdes_lookahead_floor
+  EXPECT_THROW(
+      ScenarioBuilder{}.nodes(4).shards(2).params(params).validated(),
+      std::invalid_argument);
+  // ...but the same latency is fine unsharded (no lookahead involved).
+  EXPECT_NO_THROW(ScenarioBuilder{}.nodes(4).params(params).validated());
+}
+
+}  // namespace
+}  // namespace atcsim

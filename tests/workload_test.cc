@@ -59,7 +59,7 @@ TEST(BspTest, SingleVmAppCompletesSupersteps) {
   cfg.supersteps_per_iteration = 5;
   auto& steps = rig.metrics.durations("app/superstep");
   auto& iters = rig.metrics.durations("app/iteration");
-  workload::BspApp app(*rig.network, {&vm}, cfg, sim::Rng(1), &steps, &iters);
+  workload::BspApp app({&vm}, cfg, sim::Rng(1), &steps, &iters);
   app.attach();
   rig.start();
   rig.simulation.run_until(2_s);
@@ -77,8 +77,7 @@ TEST(BspTest, UncontendedSuperstepTakesAboutComputeTime) {
   cfg.sync_rounds = 1;
   cfg.compute_jitter = 0.0;
   auto& steps = rig.metrics.durations("app/superstep");
-  workload::BspApp app(*rig.network, {&vm}, cfg, sim::Rng(1), &steps,
-                       nullptr);
+  workload::BspApp app({&vm}, cfg, sim::Rng(1), &steps, nullptr);
   app.attach();
   rig.start();
   rig.simulation.run_until(1_s);
@@ -94,8 +93,7 @@ TEST(BspTest, CrossVmAppSynchronizesThroughTheNetwork) {
   cfg.compute_per_superstep = 2_ms;
   cfg.sync_rounds = 1;
   cfg.bytes_per_msg = 64 * 1024;
-  workload::BspApp app(*rig.network, {&a, &b}, cfg, sim::Rng(1), nullptr,
-                       nullptr);
+  workload::BspApp app({&a, &b}, cfg, sim::Rng(1), nullptr, nullptr);
   app.attach();
   rig.start();
   rig.simulation.run_until(1_s);
@@ -115,8 +113,7 @@ TEST(BspTest, ContendedSuperstepsSlowWithCoTenants) {
     for (int c = 0; c < clusters; ++c) {
       virt::Vm& vm = rig.vm(0, 2, virt::VmType::kParallel);
       rig.apps.push_back(std::make_unique<workload::BspApp>(
-          *rig.network, std::vector<virt::Vm*>{&vm}, cfg, sim::Rng(1),
-          nullptr, nullptr));
+          std::vector<virt::Vm*>{&vm}, cfg, sim::Rng(1), nullptr, nullptr));
       rig.apps.back()->attach();
       apps.push_back(rig.apps.back().get());
     }
@@ -133,10 +130,8 @@ TEST(BspTest, SpinLatencyRecordedPerVm) {
   virt::Vm& b = rig.vm(0, 2, virt::VmType::kParallel);
   workload::BspConfig cfg;
   cfg.compute_per_superstep = 2_ms;
-  workload::BspApp app1(*rig.network, {&a}, cfg, sim::Rng(1), nullptr,
-                        nullptr);
-  workload::BspApp app2(*rig.network, {&b}, cfg, sim::Rng(2), nullptr,
-                        nullptr);
+  workload::BspApp app1({&a}, cfg, sim::Rng(1), nullptr, nullptr);
+  workload::BspApp app2({&b}, cfg, sim::Rng(2), nullptr, nullptr);
   app1.attach();
   app2.attach();
   rig.start();
@@ -232,8 +227,7 @@ TEST(PingTest, RttGrowsWhenPeerContended) {
       workload::BspConfig cfg;
       cfg.compute_per_superstep = 5_ms;
       rig.apps.push_back(std::make_unique<workload::BspApp>(
-          *rig.network, std::vector<virt::Vm*>{&spin}, cfg, sim::Rng(1),
-          nullptr, nullptr));
+          std::vector<virt::Vm*>{&spin}, cfg, sim::Rng(1), nullptr, nullptr));
       rig.apps.back()->attach();
     }
     rig.start();
