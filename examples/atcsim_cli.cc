@@ -11,8 +11,10 @@
 // under .atcsim-cache/, so re-running an explored configuration is free.
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <optional>
+#include <sstream>
 #include <string>
 
 #include "cluster/scenarios.h"
@@ -27,6 +29,7 @@ namespace {
 
 struct Args {
   std::string app = "lu";
+  std::string workload;  // descriptor file path or inline text
   workload::NpbClass cls = workload::NpbClass::kB;
   int nodes = 4;
   int vcpus = 8;
@@ -49,11 +52,18 @@ void usage() {
   std::fprintf(
       stderr,
       "usage: atcsim_cli [--app lu|is|sp|bt|mg|cg] [--class A|B|C]\n"
+      "                  [--workload FILE|TEXT]\n"
       "                  [--nodes N] [--vcpus N] [--approach CR|CS|BS|DSS|VS|ATC]\n"
       "                  [--slice-ms X] [--warmup-s X] [--measure-s X]\n"
       "                  [--seed N] [--shards K] [--reps N] [--threads N]\n"
       "                  [--no-cache] [--auto-classify] [--csv]\n"
       "                  [--jsonl PATH] [--trace]\n"
+      "  --workload: run a workload descriptor instead of an NPB profile\n"
+      "              (replaces --app/--class).  The argument is a descriptor\n"
+      "              file, or inline text with ';' separating statements:\n"
+      "              --workload 'workload svc; phase compute 1ms; "
+      "phase think 2ms'\n"
+      "              See examples/workloads/ and DESIGN.md section 11.\n"
       "  --shards: partition the hosts across K event-queue shards and run\n"
       "            them as a conservative parallel simulation (default 1,\n"
       "            the serial engine)\n"
@@ -74,6 +84,10 @@ std::optional<Args> parse(int argc, char** argv) {
       const char* v = value();
       if (v == nullptr) return std::nullopt;
       a.app = v;
+    } else if (flag == "--workload") {
+      const char* v = value();
+      if (v == nullptr) return std::nullopt;
+      a.workload = v;
     } else if (flag == "--class") {
       const char* v = value();
       if (v == nullptr) return std::nullopt;
@@ -153,6 +167,17 @@ std::optional<cluster::Approach> approach_from(const std::string& name) {
   return std::nullopt;
 }
 
+// --workload accepts either a descriptor file or inline text.  A readable
+// file wins; anything else is treated as inline (inline descriptors contain
+// spaces/';', which no sensible path does).
+std::string load_workload_text(const std::string& arg) {
+  std::ifstream in(arg);
+  if (!in) return arg;
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -170,6 +195,19 @@ int main(int argc, char** argv) {
   exp::SweepSpec spec;
   spec.name = "atcsim_cli";
   if (args->auto_classify) spec.tag = "auto-classify";
+  std::string workload_name;
+  if (!args->workload.empty()) {
+    spec.workload = load_workload_text(args->workload);
+    // Validate up front so a typo fails with the parser's message instead of
+    // surfacing mid-sweep.
+    try {
+      workload_name = workload::Descriptor::parse(spec.workload).name;
+    } catch (const workload::DescriptorError& e) {
+      std::fprintf(stderr, "error: --workload %s: %s\n",
+                   args->workload.c_str(), e.what());
+      return 2;
+    }
+  }
   spec.apps = {args->app};
   spec.classes = {args->cls};
   spec.approaches = {*approach};
@@ -234,7 +272,10 @@ int main(int argc, char** argv) {
   spin /= n;
   miss_rate /= n;
 
-  const std::string prefix = args->app + workload::npb_class_suffix(args->cls);
+  const std::string prefix =
+      workload_name.empty()
+          ? args->app + workload::npb_class_suffix(args->cls)
+          : workload_name;
   metrics::Table t("atcsim_cli: " + prefix + " on " +
                        std::to_string(args->nodes) + " nodes under " +
                        args->approach +

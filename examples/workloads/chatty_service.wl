@@ -1,0 +1,15 @@
+# A chatty request-serving guest: short compute bursts between disk reads
+# and idle think time.  No `barrier` phase, so this is a loop descriptor —
+# it compiles onto the single-VCPU LoopWorkload interpreter and credits
+# `rate_units` work units per second of completed compute (the type-B
+# "competing VM" role in the paper's mixed-tenancy experiments).
+#
+#   atcsim_cli --workload examples/workloads/chatty_service.wl \
+#     --nodes 2 --approach CS --slice-ms 30
+workload chatty-svc
+cache_sens 0.6
+rate_units 25
+phase compute 400us jitter=0.2
+phase io 64KiB
+phase compute 150us jitter=0.1
+phase think 1200us jitter=0.3

@@ -1,0 +1,20 @@
+# NPB LU, class B — the descriptor twin of npb_descriptor("lu", kB).
+#
+# A parallel (BSP) workload: four 2ms compute segments separated by
+# intra-VM spin barriers, closed by a global cross-VM barrier exchanging
+# 30KiB per VM.  Byte-for-byte identical metrics to the legacy
+# `--app lu --class B` spelling (see tests/descriptor_test.cc).
+#
+#   atcsim_cli --workload examples/workloads/lu_b.wl \
+#     --nodes 2 --vcpus 8 --approach ATC --slice-ms 5
+workload lu.B
+cache_sens 1
+steps_per_iter 12
+phase compute 2ms jitter=0.05
+phase local_barrier
+phase compute 2ms jitter=0.05
+phase local_barrier
+phase compute 2ms jitter=0.05
+phase local_barrier
+phase compute 2ms jitter=0.05
+phase barrier 30KiB

@@ -142,6 +142,20 @@ workload::BspApp& Scenario::add_bsp_app(const std::string& key,
   return *bsp_apps_.back();
 }
 
+workload::BspApp& Scenario::add_bsp_app(const std::string& key,
+                                        const workload::Descriptor& desc,
+                                        std::vector<virt::Vm*> vms) {
+  assert(!started_);
+  auto& superstep = metrics_->durations(key + "/superstep");
+  auto& iteration = metrics_->durations(key + "/iteration");
+  bsp_apps_.push_back(std::make_unique<workload::BspApp>(
+      std::move(vms), desc, app_rng().split(std::hash<std::string>{}(key)),
+      &superstep, &iteration));
+  bsp_apps_.back()->attach();
+  bsp_keys_.push_back(key);
+  return *bsp_apps_.back();
+}
+
 void Scenario::add_identical_clusters(const workload::BspConfig& cfg) {
   for (int j = 0; j < config_.vms_per_node; ++j) {
     std::vector<int> placement;
@@ -149,6 +163,29 @@ void Scenario::add_identical_clusters(const workload::BspConfig& cfg) {
     auto vms = create_cluster_vms(cfg.name + "-vc" + std::to_string(j),
                                   placement);
     add_bsp_app(cfg.name + "/vc" + std::to_string(j), cfg, std::move(vms));
+  }
+}
+
+void Scenario::add_identical_clusters(const workload::Descriptor& desc) {
+  if (desc.parallel()) {
+    for (int j = 0; j < config_.vms_per_node; ++j) {
+      std::vector<int> placement;
+      for (int n = 0; n < config_.nodes; ++n) placement.push_back(n);
+      auto vms = create_cluster_vms(desc.name + "-vc" + std::to_string(j),
+                                    placement);
+      add_bsp_app(desc.name + "/vc" + std::to_string(j), desc,
+                  std::move(vms));
+    }
+    return;
+  }
+  // Loop descriptors have no cross-VM coupling: fill the same VM slots with
+  // independent single-VCPU interpreters instead.
+  for (int j = 0; j < config_.vms_per_node; ++j) {
+    for (int n = 0; n < config_.nodes; ++n) {
+      add_loop_vm(n, desc,
+                  desc.name + "/vc" + std::to_string(j) + "/n" +
+                      std::to_string(n));
+    }
   }
 }
 
@@ -161,6 +198,19 @@ virt::Vm& Scenario::add_cpu_vm(int node,
       config_.vcpus_per_vm);
   workloads_.push_back(std::make_unique<workload::CpuBoundWorkload>(
       cfg, app_rng().split(std::hash<std::string>{}(key)),
+      &metrics_->rate(key)));
+  vm.vcpus()[0]->set_workload(workloads_.back().get());
+  return vm;
+}
+
+virt::Vm& Scenario::add_loop_vm(int node, const workload::Descriptor& desc,
+                                const std::string& key) {
+  assert(!started_);
+  virt::Vm& vm = platform_of_node(node).create_vm(
+      local_node_id(node), virt::VmType::kNonParallel, key,
+      config_.vcpus_per_vm);
+  workloads_.push_back(std::make_unique<workload::LoopWorkload>(
+      net_of(vm), vm, desc, app_rng().split(std::hash<std::string>{}(key)),
       &metrics_->rate(key)));
   vm.vcpus()[0]->set_workload(workloads_.back().get());
   return vm;

@@ -13,6 +13,10 @@ void build_type_a(Scenario& s, const std::string& app, NpbClass cls) {
   s.add_identical_clusters(workload::npb_profile(app, cls));
 }
 
+void build_type_a(Scenario& s, const workload::Descriptor& desc) {
+  s.add_identical_clusters(desc);
+}
+
 std::vector<int> place_cluster(std::vector<int>& capacity, int vms) {
   std::vector<int> placement;
   placement.reserve(static_cast<std::size_t>(vms));

@@ -15,6 +15,12 @@ namespace atcsim::cluster {
 void build_type_a(Scenario& s, const std::string& app,
                   workload::NpbClass cls);
 
+/// Type-A layout from a workload descriptor: parallel descriptors become
+/// the identical virtual-cluster grid (an npb_descriptor run is
+/// byte-identical to its legacy twin); loop descriptors fill the same VM
+/// slots with independent single-VCPU interpreters.
+void build_type_a(Scenario& s, const workload::Descriptor& desc);
+
 /// Evaluation type B (Sec. IV-B2): virtual clusters sized from the Atlas
 /// trace (Table I) — 32 nodes, 128 VMs: 10 VCs over 98 VMs, the remaining
 /// capacity filled with independent single-VM parallel apps (lu.B / is.B).

@@ -157,14 +157,21 @@ TrialResult run_type_a_trial(const Trial& t, const atc::AtcConfig& atc_cfg) {
       .shards(t.shards);
   if (t.trace) builder.tracing().check_invariants();
   auto s = builder.build();
-  cluster::build_type_a(*s, t.app, t.cls);
+  if (!t.descriptor.empty()) {
+    cluster::build_type_a(*s, workload::Descriptor::parse(t.descriptor));
+  } else {
+    cluster::build_type_a(*s, t.app, t.cls);
+  }
   s->start();
   if (t.slice >= 0) set_global_guest_slice(*s, t.slice);
   s->warmup_and_measure(t.warmup, t.measure);
 
   TrialResult r;
   r.trial_id = t.id;
-  const std::string prefix = t.app + workload::npb_class_suffix(t.cls);
+  // Descriptor trials key their metrics by the descriptor's workload name
+  // (t.app); NPB trials keep the app + class prefix.
+  const std::string prefix =
+      t.descriptor.empty() ? t.app + workload::npb_class_suffix(t.cls) : t.app;
   r.metrics["superstep_s"] = s->mean_superstep_with_prefix(prefix);
   r.metrics["spin_s"] = s->avg_parallel_spin_latency();
   r.metrics["llc_miss_per_s"] = s->llc_miss_rate();

@@ -40,7 +40,10 @@ class Hasher {
 }  // namespace
 
 std::size_t SweepSpec::grid_size() const {
-  return apps.size() * classes.size() * approaches.size() * nodes.size() *
+  // A workload descriptor replaces the apps x classes axes.
+  const std::size_t app_cells =
+      workload.empty() ? apps.size() * classes.size() : 1;
+  return app_cells * approaches.size() * nodes.size() *
          vcpus_per_vm.size() * slices.size() * seeds.size() *
          static_cast<std::size_t>(repetitions > 0 ? repetitions : 0);
 }
@@ -54,8 +57,12 @@ std::uint64_t Trial::seed() const {
 }
 
 std::string Trial::label() const {
-  std::string s = app + workload::npb_class_suffix(cls) + "/" +
-                  cluster::approach_name(approach) + "/n" +
+  // Descriptor trials carry the descriptor's own name; NPB trials keep the
+  // app + class form.
+  std::string s = app +
+                  (descriptor.empty() ? workload::npb_class_suffix(cls)
+                                      : std::string()) +
+                  "/" + cluster::approach_name(approach) + "/n" +
                   std::to_string(nodes) + "/v" + std::to_string(vcpus) + "/";
   s += slice == kAdaptiveSlice ? "adaptive" : sim::format_time(slice);
   s += "/s" + std::to_string(base_seed) + "/r" + std::to_string(rep);
@@ -63,11 +70,23 @@ std::string Trial::label() const {
 }
 
 std::vector<Trial> expand(const SweepSpec& spec) {
+  // Descriptor sweeps canonicalize the text once (parse + print), so every
+  // textual spelling of the same workload shares trial hashes, and an
+  // invalid descriptor fails here — before any trial runs.
+  std::string desc_text;
+  std::vector<std::string> apps = spec.apps;
+  std::vector<workload::NpbClass> classes = spec.classes;
+  if (!spec.workload.empty()) {
+    const workload::Descriptor d = workload::Descriptor::parse(spec.workload);
+    desc_text = d.print();
+    apps = {d.name};
+    classes = {workload::NpbClass::kB};
+  }
   std::vector<Trial> trials;
   trials.reserve(spec.grid_size());
   int id = 0;
-  for (const auto& app : spec.apps)
-    for (auto cls : spec.classes)
+  for (const auto& app : apps)
+    for (auto cls : classes)
       for (auto approach : spec.approaches)
         for (int n : spec.nodes)
           for (int v : spec.vcpus_per_vm)
@@ -77,6 +96,7 @@ std::vector<Trial> expand(const SweepSpec& spec) {
                   Trial t;
                   t.id = id++;
                   t.app = app;
+                  t.descriptor = desc_text;
                   t.cls = cls;
                   t.approach = approach;
                   t.nodes = n;
@@ -108,6 +128,9 @@ std::uint64_t spec_hash(const SweepSpec& spec) {
   // valid) draw sequence — a distinct cache universe.  Unsharded specs hash
   // exactly as before so existing caches stay warm.
   if (spec.shards != 1) h.mix(static_cast<std::uint64_t>(spec.shards));
+  // Same pattern for descriptor sweeps: descriptor-free specs hash exactly
+  // as before.
+  if (!spec.workload.empty()) h.mix(spec.workload);
   return h.value();
 }
 
@@ -126,6 +149,9 @@ std::uint64_t trial_hash(const Trial& t) {
   h.mix(static_cast<std::uint64_t>(t.warmup));
   h.mix(static_cast<std::uint64_t>(t.measure));
   if (t.shards != 1) h.mix(static_cast<std::uint64_t>(t.shards));
+  // Canonical descriptor text is the workload's content hash key;
+  // descriptor-free trials hash exactly as before.
+  if (!t.descriptor.empty()) h.mix(t.descriptor);
   return h.value();
 }
 

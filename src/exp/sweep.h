@@ -29,6 +29,14 @@ struct SweepSpec {
   std::string name = "sweep";  ///< cache namespace + emitter file stem
   std::string tag;             ///< extra cache salt for off-grid knobs
 
+  /// Workload descriptor text (workload/descriptor.h).  When non-empty it
+  /// replaces the apps/classes axes: every trial builds this descriptor
+  /// instead of an NPB profile, trial labels use the descriptor's name, and
+  /// the text is content-hashed into spec/trial hashes (empty descriptors
+  /// hash exactly as before, so existing caches stay warm).  expand()
+  /// throws workload::DescriptorError on invalid text.
+  std::string workload;
+
   std::vector<std::string> apps = {"lu"};
   std::vector<workload::NpbClass> classes = {workload::NpbClass::kB};
   std::vector<cluster::Approach> approaches = {cluster::Approach::kCR};
@@ -61,6 +69,10 @@ struct SweepSpec {
 struct Trial {
   int id = 0;
   std::string app;
+  /// Canonical descriptor text (SweepSpec::workload); empty for NPB-profile
+  /// trials.  When set, `app` holds the descriptor's workload name and
+  /// `cls` is ignored.
+  std::string descriptor;
   workload::NpbClass cls = workload::NpbClass::kB;
   cluster::Approach approach = cluster::Approach::kCR;
   int nodes = 2;

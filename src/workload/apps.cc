@@ -1,5 +1,8 @@
 #include "workload/apps.h"
 
+#include <algorithm>
+#include <utility>
+
 namespace atcsim::workload {
 
 using sim::SimTime;
@@ -47,6 +50,86 @@ CpuBoundWorkload::Config CpuBoundWorkload::stream() {
   // ~12 GB/s of triad traffic per busy second, reported in MB.
   c.units_per_second_of_work = 12'000.0;
   return c;
+}
+
+Descriptor CpuBoundWorkload::descriptor(const Config& cfg) {
+  Descriptor d;
+  d.name = cfg.name;
+  d.cache_sensitivity = cfg.cache_sens;
+  d.rate_units = cfg.units_per_second_of_work;
+  Phase p;
+  p.kind = PhaseKind::kCompute;
+  p.duration = cfg.chunk;
+  p.jitter = cfg.jitter;
+  d.phases.push_back(p);
+  if (const std::string err = d.validate(); !err.empty()) {
+    throw DescriptorError(err);
+  }
+  return d;
+}
+
+// -------------------------------------------------------------- LoopWorkload
+
+LoopWorkload::LoopWorkload(net::VirtualNetwork& net, virt::Vm& self_vm,
+                           Descriptor desc, sim::Rng rng,
+                           metrics::RateCounter* counter)
+    : net_(&net), vm_(&self_vm), desc_(std::move(desc)), rng_(rng),
+      counter_(counter) {
+  if (const std::string err = desc_.validate(); !err.empty()) {
+    throw DescriptorError(err);
+  }
+  if (desc_.parallel()) {
+    throw DescriptorError("LoopWorkload needs a loop (non-barrier) "
+                          "descriptor; '" +
+                          desc_.name + "' ends in a barrier phase");
+  }
+}
+
+virt::Action LoopWorkload::next(virt::Vcpu& /*self*/) {
+  // Same accounting as CpuBoundWorkload: the chunk completed by reaching
+  // this call is credited before the next one is drawn, so a
+  // single-compute descriptor reproduces its unit stream exactly.
+  if (last_compute_ > 0 && counter_ != nullptr) {
+    counter_->add(sim::to_seconds(last_compute_) * desc_.rate_units);
+    last_compute_ = 0;
+  }
+  for (;;) {
+    const Phase& p = desc_.phases[pc_];
+    pc_ = (pc_ + 1) % desc_.phases.size();
+    switch (p.kind) {
+      case PhaseKind::kCompute:
+        last_compute_ = rng_.jittered(p.duration, p.jitter);
+        return virt::Action::compute(last_compute_);
+      case PhaseKind::kThink: {
+        if (think_ == nullptr) {
+          think_ = std::make_unique<virt::SyncEvent>(net_->engine());
+          think_->reserve(1);
+        } else {
+          think_->reset();
+        }
+        virt::SyncEvent* ev = think_.get();
+        net_->simulation().call_in(
+            std::max<sim::SimTime>(rng_.jittered(p.duration, p.jitter), 1),
+            [ev] { ev->signal(); });
+        return virt::Action::block_wait(*think_);
+      }
+      case PhaseKind::kIo: {
+        if (io_ == nullptr) {
+          io_ = std::make_unique<virt::SyncEvent>(net_->engine());
+          io_->reserve(1);
+        } else {
+          io_->reset();
+        }
+        virt::SyncEvent* ev = io_.get();
+        net_->submit_disk(*vm_, p.bytes, [ev] { ev->signal(); });
+        return virt::Action::block_wait(*io_);
+      }
+      case PhaseKind::kSend:
+      case PhaseKind::kLocalBarrier:
+      case PhaseKind::kBarrier:
+        break;  // unreachable: validation rejects these in loop mode
+    }
+  }
 }
 
 // -------------------------------------------------------- IdleServerWorkload

@@ -13,6 +13,7 @@
 #include "simcore/rng.h"
 #include "virt/sync_event.h"
 #include "virt/workload_api.h"
+#include "workload/descriptor.h"
 
 namespace atcsim::workload {
 
@@ -46,11 +47,45 @@ class CpuBoundWorkload : public virt::Workload {
   static Config bzip2();
   static Config stream();  ///< units = MB of triad traffic
 
+  /// The descriptor twin of `cfg`: a single-compute loop descriptor whose
+  /// LoopWorkload interpretation credits the identical unit stream.
+  static Descriptor descriptor(const Config& cfg);
+
  private:
   Config cfg_;
   sim::Rng rng_;
   metrics::RateCounter* counter_;
   sim::SimTime last_chunk_ = 0;
+};
+
+/// Interpreter for loop (non-barrier) descriptors: one VCPU cycling through
+/// compute / think / io phases.  Subsumes CpuBoundWorkload shapes (a
+/// single-compute program with rate_units credits the identical unit
+/// stream) and adds blocked think time and blkback I/O bursts, so
+/// non-parallel guests are descriptor instances too.
+class LoopWorkload : public virt::Workload {
+ public:
+  /// Throws DescriptorError when `desc` is invalid or parallel
+  /// (barrier-terminated programs need BspApp).
+  LoopWorkload(net::VirtualNetwork& net, virt::Vm& self_vm, Descriptor desc,
+               sim::Rng rng, metrics::RateCounter* counter);
+
+  virt::Action next(virt::Vcpu& self) override;
+  double cache_sensitivity() const override {
+    return desc_.cache_sensitivity;
+  }
+  std::string name() const override { return desc_.name; }
+
+ private:
+  net::VirtualNetwork* net_;
+  virt::Vm* vm_;
+  Descriptor desc_;
+  sim::Rng rng_;
+  metrics::RateCounter* counter_;
+  std::size_t pc_ = 0;             ///< next phase of desc_.phases
+  sim::SimTime last_compute_ = 0;  ///< credited on the following call
+  std::unique_ptr<virt::SyncEvent> think_;
+  std::unique_ptr<virt::SyncEvent> io_;
 };
 
 /// Halted server VCPU: blocks forever, woken only to process event-channel

@@ -17,13 +17,68 @@ net::VirtualNetwork& BspApp::net_of(virt::Vm& vm) {
 BspApp::BspApp(std::vector<virt::Vm*> vms, BspConfig cfg, sim::Rng rng,
                metrics::DurationRecorder* superstep_rec,
                metrics::DurationRecorder* iteration_rec)
-    : cfg_(cfg), rng_(rng), vm_ptrs_(std::move(vms)),
+    : cfg_(std::move(cfg)), rng_(rng), vm_ptrs_(std::move(vms)),
       superstep_rec_(superstep_rec), iteration_rec_(iteration_rec) {
   if (cfg_.sync_rounds < 1 || cfg_.sync_rounds > 32) {
     throw std::invalid_argument(
         "BspConfig.sync_rounds must be in [1, 32], got " +
         std::to_string(cfg_.sync_rounds));
   }
+  // Compile the classic shape directly (not via Descriptor::from_bsp) so
+  // this constructor cannot reject a BspConfig the pre-descriptor code
+  // accepted; from_bsp emits exactly this step sequence.
+  const SimTime segment =
+      cfg_.compute_per_superstep / std::max(1, cfg_.sync_rounds);
+  for (int r = 0; r < cfg_.sync_rounds; ++r) {
+    Step c;
+    c.kind = PhaseKind::kCompute;
+    c.duration = segment;
+    c.jitter = cfg_.compute_jitter;
+    program_.push_back(c);
+    if (r < cfg_.sync_rounds - 1) {
+      Step lb;
+      lb.kind = PhaseKind::kLocalBarrier;
+      lb.local_index = r;
+      program_.push_back(lb);
+    }
+  }
+  Step b;
+  b.kind = PhaseKind::kBarrier;
+  b.bytes = cfg_.bytes_per_msg;
+  program_.push_back(b);
+  local_count_ = cfg_.sync_rounds - 1;
+  init_slots();
+}
+
+BspApp::BspApp(std::vector<virt::Vm*> vms, const Descriptor& desc,
+               sim::Rng rng, metrics::DurationRecorder* superstep_rec,
+               metrics::DurationRecorder* iteration_rec)
+    : rng_(rng), vm_ptrs_(std::move(vms)), superstep_rec_(superstep_rec),
+      iteration_rec_(iteration_rec) {
+  if (const std::string err = desc.validate(); !err.empty()) {
+    throw DescriptorError(err);
+  }
+  if (!desc.parallel()) {
+    throw DescriptorError("BspApp needs a parallel (barrier-terminated) "
+                          "descriptor; '" +
+                          desc.name + "' has no barrier phase");
+  }
+  cfg_ = desc.to_bsp();
+  int local_index = 0;
+  for (const Phase& p : desc.phases) {
+    Step st;
+    st.kind = p.kind;
+    st.duration = p.duration;
+    st.jitter = p.jitter;
+    st.bytes = p.bytes;
+    if (p.kind == PhaseKind::kLocalBarrier) st.local_index = local_index++;
+    program_.push_back(st);
+  }
+  local_count_ = local_index;
+  init_slots();
+}
+
+void BspApp::init_slots() {
   assert(!vm_ptrs_.empty());
   vms_.resize(vm_ptrs_.size());
   for (std::size_t i = 0; i < vm_ptrs_.size(); ++i) {
@@ -43,13 +98,12 @@ BspApp::BspApp(std::vector<virt::Vm*> vms, BspConfig cfg, sim::Rng rng,
     for (GenSlot& gs : vs.gens) {
       gs.release = std::make_unique<virt::SyncEvent>(engine);
       gs.release->reserve(max_waiters);
-      gs.local.reserve(static_cast<std::size_t>(cfg_.sync_rounds - 1));
-      for (int seg = 0; seg < cfg_.sync_rounds - 1; ++seg) {
+      gs.local.reserve(static_cast<std::size_t>(local_count_));
+      for (int seg = 0; seg < local_count_; ++seg) {
         gs.local.push_back(std::make_unique<virt::SyncEvent>(engine));
         gs.local.back()->reserve(max_waiters);
       }
-      gs.local_arrivals.assign(static_cast<std::size_t>(cfg_.sync_rounds - 1),
-                               0);
+      gs.local_arrivals.assign(static_cast<std::size_t>(local_count_), 0);
     }
   }
 }
@@ -74,13 +128,14 @@ virt::SyncEvent& BspApp::release_event(int vm_index, std::uint64_t gen) {
 }
 
 virt::SyncEvent& BspApp::local_round_arrived(int vm_index,
-                                             std::uint64_t gen, int seg) {
+                                             std::uint64_t gen,
+                                             int local_index) {
   GenSlot& gs = slot(vm_index, gen);
-  virt::SyncEvent& ev = *gs.local[static_cast<std::size_t>(seg)];
-  const int arrived = ++gs.local_arrivals[static_cast<std::size_t>(seg)];
+  virt::SyncEvent& ev = *gs.local[static_cast<std::size_t>(local_index)];
+  const int arrived = ++gs.local_arrivals[static_cast<std::size_t>(local_index)];
   const VmState& vs = vms_[static_cast<std::size_t>(vm_index)];
   if (arrived == static_cast<int>(vs.vm->vcpu_count())) {
-    gs.local_arrivals[static_cast<std::size_t>(seg)] = 0;
+    gs.local_arrivals[static_cast<std::size_t>(local_index)] = 0;
     // Shared-memory barrier: the last local arriver releases it in place.
     ev.signal();
   }
@@ -154,25 +209,69 @@ void BspApp::release_generation(std::uint64_t gen) {
   }
 }
 
+virt::SyncEvent& BspRank::armed_event(
+    std::unique_ptr<virt::SyncEvent>& slot) {
+  if (slot == nullptr) {
+    virt::Vm& vm = *app_->vm_ptrs_[static_cast<std::size_t>(vm_index_)];
+    slot = std::make_unique<virt::SyncEvent>(vm.node().platform().engine());
+    slot->reserve(1);
+  } else {
+    slot->reset();
+  }
+  return *slot;
+}
+
 virt::Action BspRank::next(virt::Vcpu& /*self*/) {
-  const auto& cfg = app_->config();
-  if (!computing_) {
-    computing_ = true;
-    const sim::SimTime segment =
-        cfg.compute_per_superstep / std::max(1, cfg.sync_rounds);
-    return virt::Action::compute(
-        rng_.jittered(segment, cfg.compute_jitter));
+  const std::vector<BspApp::Step>& program = app_->program_;
+  for (;;) {
+    const BspApp::Step& st = program[pc_];
+    pc_ = (pc_ + 1) % program.size();
+    switch (st.kind) {
+      case PhaseKind::kCompute:
+        return virt::Action::compute(
+            rng_.jittered(st.duration, st.jitter));
+      case PhaseKind::kThink: {
+        // Blocked sleep: halt until a timer on the VM's own shard fires.
+        virt::SyncEvent& ev = armed_event(think_);
+        virt::SyncEvent* evp = &ev;
+        virt::Vm& vm = *app_->vm_ptrs_[static_cast<std::size_t>(vm_index_)];
+        vm.node().platform().simulation().call_in(
+            std::max<SimTime>(rng_.jittered(st.duration, st.jitter), 1),
+            [evp] { evp->signal(); });
+        return virt::Action::block_wait(ev);
+      }
+      case PhaseKind::kIo: {
+        virt::SyncEvent& ev = armed_event(io_);
+        virt::SyncEvent* evp = &ev;
+        virt::Vm& vm = *app_->vm_ptrs_[static_cast<std::size_t>(vm_index_)];
+        BspApp::net_of(vm).submit_disk(vm, st.bytes,
+                                       [evp] { evp->signal(); });
+        return virt::Action::block_wait(ev);
+      }
+      case PhaseKind::kSend: {
+        // Fire-and-forget ring message to the cluster's next VM; models
+        // neighbour exchange traffic that overlaps with compute.
+        const auto& vms = app_->vm_ptrs_;
+        if (vms.size() > 1) {
+          virt::Vm& src = *vms[static_cast<std::size_t>(vm_index_)];
+          virt::Vm& dst =
+              *vms[(static_cast<std::size_t>(vm_index_) + 1) % vms.size()];
+          BspApp::net_of(src).send(src, dst, st.bytes, [] {});
+        }
+        continue;  // non-blocking: execute the next phase at this instant
+      }
+      case PhaseKind::kLocalBarrier: {
+        virt::SyncEvent& ev =
+            app_->local_round_arrived(vm_index_, gen_, st.local_index);
+        return virt::Action::spin_wait(ev);
+      }
+      case PhaseKind::kBarrier: {
+        virt::SyncEvent& release = app_->rank_arrived(vm_index_, gen_);
+        ++gen_;
+        return virt::Action::spin_wait(release);
+      }
+    }
   }
-  computing_ = false;
-  if (seg_ < cfg.sync_rounds - 1) {
-    virt::SyncEvent& ev = app_->local_round_arrived(vm_index_, gen_, seg_);
-    ++seg_;
-    return virt::Action::spin_wait(ev);
-  }
-  seg_ = 0;
-  virt::SyncEvent& release = app_->rank_arrived(vm_index_, gen_);
-  ++gen_;
-  return virt::Action::spin_wait(release);
 }
 
 }  // namespace atcsim::workload

@@ -1,13 +1,21 @@
 // Bulk-Synchronous Parallel application model (one MPI-style rank per VCPU).
 //
-// Every superstep each rank computes, then enters the barrier:
-//  * intra-VM: ranks of a VM busy-wait (user-space MPI poll; the VCPU stays
-//    runnable and burns CPU) until the VM's release event fires — the spin
-//    the paper's monitor measures;
-//  * cross-VM: the last local arriver sends an "arrive" message to the
-//    coordinator VM through the full split-driver network path; once all
-//    VMs arrived the coordinator sends "release" messages back.  Message
-//    sizes model the application's per-superstep data exchange volume.
+// A BspApp executes a cyclic *phase program* — compute segments, think
+// (blocked) time, disk I/O bursts, fire-and-forget messages, intra-VM spin
+// barriers and one global barrier — compiled either from a classic
+// BspConfig (the original compute/sync_rounds shape) or from a
+// workload::Descriptor (descriptor.h).  Both lowerings of the same shape
+// produce the identical step sequence, so descriptor-built NPB profiles are
+// event-for-event equal to the legacy classes.
+//
+// Barrier semantics per superstep (one pass through the program):
+//  * intra-VM (local_barrier): ranks of a VM busy-wait (user-space MPI
+//    poll; the VCPU stays runnable and burns CPU) until the VM's release
+//    event fires — the spin the paper's monitor measures;
+//  * cross-VM (barrier): the last local arriver sends an "arrive" message
+//    to the coordinator VM through the full split-driver network path; once
+//    all VMs arrived the coordinator sends "release" messages back.
+//    Message sizes model the application's per-superstep exchange volume.
 // Both legs wait through VMM scheduling delays, so superstep latency scales
 // with the time slices of co-located VMs — the effect ATC exploits.
 #pragma once
@@ -24,6 +32,7 @@
 #include "virt/engine.h"
 #include "virt/sync_event.h"
 #include "virt/workload_api.h"
+#include "workload/descriptor.h"
 
 namespace atcsim::workload {
 
@@ -51,15 +60,34 @@ class BspRank;
 ///
 /// Shard-aware: the VMs of one virtual cluster may live on different
 /// shards' platforms.  Every per-VM resource (barrier SyncEvents, message
-/// sends) is bound to the owning VM's engine/network, and coordinator-side
-/// state is only ever touched from the coordinator VM's shard — either
-/// directly (VM 0's own ranks) or via message delivery, which establishes
-/// the required happens-before through the round barriers.
+/// sends, think timers, disk requests) is bound to the owning VM's
+/// engine/network, and coordinator-side state is only ever touched from the
+/// coordinator VM's shard — either directly (VM 0's own ranks) or via
+/// message delivery, which establishes the required happens-before through
+/// the round barriers.
 class BspApp {
  public:
-  /// Throws std::invalid_argument when cfg.sync_rounds is outside [1, 32].
-  /// Each VM uses its own platform's network; vms[0] is the coordinator.
+  /// One compiled step of the per-rank phase program.
+  struct Step {
+    PhaseKind kind = PhaseKind::kCompute;
+    sim::SimTime duration = 0;  ///< compute / think
+    double jitter = 0.0;        ///< compute / think
+    std::uint64_t bytes = 0;    ///< io / send / barrier
+    int local_index = 0;        ///< local_barrier: slot within a generation
+  };
+
+  /// Classic shape: sync_rounds equal compute segments separated by local
+  /// barriers, closed by the global barrier.  Throws std::invalid_argument
+  /// when cfg.sync_rounds is outside [1, 32].  Each VM uses its own
+  /// platform's network; vms[0] is the coordinator.
   BspApp(std::vector<virt::Vm*> vms, BspConfig cfg, sim::Rng rng,
+         metrics::DurationRecorder* superstep_rec,
+         metrics::DurationRecorder* iteration_rec);
+
+  /// Arbitrary phase program from a parallel (barrier-terminated)
+  /// descriptor.  Throws DescriptorError when the descriptor is invalid or
+  /// not parallel.
+  BspApp(std::vector<virt::Vm*> vms, const Descriptor& desc, sim::Rng rng,
          metrics::DurationRecorder* superstep_rec,
          metrics::DurationRecorder* iteration_rec);
   ~BspApp();
@@ -72,19 +100,23 @@ class BspApp {
   void attach();
 
   const BspConfig& config() const { return cfg_; }
+  const std::vector<Step>& program() const { return program_; }
   std::uint64_t supersteps_completed() const { return supersteps_done_; }
   const std::vector<virt::Vm*>& vms() const { return vm_ptrs_; }
 
  private:
   friend class BspRank;
 
+  /// Builds the VM/generation-slot state; requires program_ compiled.
+  void init_slots();
+
   /// Rank bookkeeping at barrier entry; returns the release event the rank
   /// must spin on for generation `gen`.
   virt::SyncEvent& rank_arrived(int vm_index, std::uint64_t gen);
-  /// Intra-VM shared-memory barrier for segment `seg` of generation `gen`;
-  /// the last local arriver releases it directly (no network).
+  /// Intra-VM shared-memory barrier `local_index` of generation `gen`; the
+  /// last local arriver releases it directly (no network).
   virt::SyncEvent& local_round_arrived(int vm_index, std::uint64_t gen,
-                                       int seg);
+                                       int local_index);
   void coordinator_arrive(std::uint64_t gen);
   void release_generation(std::uint64_t gen);
   virt::SyncEvent& release_event(int vm_index, std::uint64_t gen);
@@ -105,7 +137,7 @@ class BspApp {
   struct GenSlot {
     std::unique_ptr<virt::SyncEvent> release;
     int arrivals = 0;
-    /// Intra-VM shared-memory barriers, one per segment (sync_rounds - 1).
+    /// Intra-VM shared-memory barriers, one per local_barrier step.
     std::vector<std::unique_ptr<virt::SyncEvent>> local;
     std::vector<int> local_arrivals;
   };
@@ -124,6 +156,8 @@ class BspApp {
   static net::VirtualNetwork& net_of(virt::Vm& vm);
 
   BspConfig cfg_;
+  std::vector<Step> program_;
+  int local_count_ = 0;  ///< local_barrier steps per program pass
   sim::Rng rng_;
   std::vector<VmState> vms_;
   std::vector<virt::Vm*> vm_ptrs_;
@@ -136,7 +170,8 @@ class BspApp {
   metrics::DurationRecorder* iteration_rec_;
 };
 
-/// The per-VCPU rank program: compute, barrier, repeat.
+/// The per-VCPU rank program: an interpreter over BspApp::program(),
+/// wrapping around after the global barrier.
 class BspRank : public virt::Workload {
  public:
   BspRank(BspApp& app, int vm_index, int rank, sim::Rng rng)
@@ -151,13 +186,19 @@ class BspRank : public virt::Workload {
   }
 
  private:
+  /// Lazily creates (then resets and reuses) a rank-private wait event on
+  /// the owning VM's engine — think timers and disk completions stay
+  /// allocation-free in steady state.
+  virt::SyncEvent& armed_event(std::unique_ptr<virt::SyncEvent>& slot);
+
   BspApp* app_;
   int vm_index_;
   int rank_;
   sim::Rng rng_;
   std::uint64_t gen_ = 0;
-  int seg_ = 0;
-  bool computing_ = false;
+  std::size_t pc_ = 0;  ///< next step of app_->program()
+  std::unique_ptr<virt::SyncEvent> think_;
+  std::unique_ptr<virt::SyncEvent> io_;
 };
 
 }  // namespace atcsim::workload

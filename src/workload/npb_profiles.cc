@@ -65,6 +65,10 @@ BspConfig npb_profile(const std::string& app, NpbClass cls) {
   throw std::invalid_argument("unknown NPB application: " + app);
 }
 
+Descriptor npb_descriptor(const std::string& app, NpbClass cls) {
+  return Descriptor::from_bsp(npb_profile(app, cls));
+}
+
 const std::vector<std::string>& npb_apps() {
   static const std::vector<std::string> apps = {"lu", "is", "sp",
                                                 "bt", "mg", "cg"};

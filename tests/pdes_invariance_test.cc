@@ -40,6 +40,7 @@ struct RunResult {
   double superstep = 0.0;
   double spin = 0.0;
   double llc = 0.0;
+  double rate = 0.0;  // summed work-rate units (loop descriptors)
   std::uint64_t fabric_posted = 0;
   std::uint64_t fabric_delivered = 0;
   std::string trace;  // merged compact trace; empty unless requested
@@ -54,6 +55,9 @@ struct RunCase {
   bool trace = false;
   std::string app = "lu";
   workload::NpbClass cls = workload::NpbClass::kA;
+  /// Workload-descriptor text; when non-empty the scenario is built from it
+  /// instead of the NPB profile (descriptor.h).
+  std::string descriptor;
 };
 
 // All metric aggregation paths sum integer counters before the final
@@ -75,15 +79,24 @@ RunResult run_case(const RunCase& c) {
   if (c.trace) b.tracing();
   auto sp = b.build();
   Scenario& s = *sp;
-  cluster::build_type_a(s, c.app, c.cls);
+  std::string prefix = c.app + workload::npb_class_suffix(c.cls);
+  if (!c.descriptor.empty()) {
+    const workload::Descriptor d = workload::Descriptor::parse(c.descriptor);
+    cluster::build_type_a(s, d);
+    prefix = d.name;
+  } else {
+    cluster::build_type_a(s, c.app, c.cls);
+  }
   s.start();
   s.warmup_and_measure(500_ms, 1500_ms);
 
   RunResult r;
-  r.superstep =
-      s.mean_superstep_with_prefix(c.app + workload::npb_class_suffix(c.cls));
+  r.superstep = s.mean_superstep_with_prefix(prefix);
   r.spin = s.avg_parallel_spin_latency();
   r.llc = s.llc_miss_rate();
+  for (const auto& [key, rate] : s.metrics().all_rates()) {
+    r.rate += rate.units();
+  }
   if (const net::ShardFabric* f = s.fabric()) {
     r.fabric_posted = f->posted();
     r.fabric_delivered = f->delivered();
@@ -101,6 +114,7 @@ void expect_equal_metrics(const RunResult& a, const RunResult& b,
   EXPECT_EQ(a.superstep, b.superstep) << what;
   EXPECT_EQ(a.spin, b.spin) << what;
   EXPECT_EQ(a.llc, b.llc) << what;
+  EXPECT_EQ(a.rate, b.rate) << what;
 }
 
 TEST(PdesInvarianceTest, ShardCountLeavesMetricsUnchanged) {
@@ -137,6 +151,48 @@ TEST(PdesInvarianceTest, RandomizedConfigurationsAreShardCountInvariant) {
       expect_equal_metrics(serial, run_case(c),
                            "nodes=" + std::to_string(base.nodes) +
                                " seed=" + std::to_string(base.seed) +
+                               " shards=" + std::to_string(shards));
+    }
+  }
+}
+
+TEST(PdesInvarianceTest, DescriptorScenariosAreShardCountInvariant) {
+  // One descriptor per new phase family (think/io in a loop program; send +
+  // local_barrier and io + think inside BSP supersteps), each run through
+  // the same shard-count matrix as the NPB profiles.
+  const struct {
+    const char* label;
+    const char* text;
+    bool parallel;
+  } cases[] = {
+      {"loop think+io",
+       "workload svc-loop\nrate_units 8\nphase compute 400us jitter=0.1\n"
+       "phase think 600us\nphase io 32KiB\n",
+       false},
+      {"bsp send+local_barrier",
+       "workload mesh\nphase compute 500us jitter=0.05\nphase send 16KiB\n"
+       "phase local_barrier\nphase compute 400us\nphase barrier 32KiB\n",
+       true},
+      {"bsp io+think",
+       "workload iopar\nphase compute 600us\nphase io 64KiB\n"
+       "phase think 200us\nphase barrier\n",
+       true},
+  };
+  for (const auto& c : cases) {
+    RunCase base;
+    base.nodes = 4;
+    base.descriptor = c.text;
+    const RunResult serial = run_case(base);
+    if (c.parallel) {
+      ASSERT_GT(serial.superstep, 0.0) << c.label;
+    } else {
+      ASSERT_GT(serial.rate, 0.0) << c.label;
+    }
+    for (int shards : {2, 4}) {
+      RunCase sharded = base;
+      sharded.shards = shards;
+      expect_equal_metrics(serial, run_case(sharded),
+                           std::string(c.label) +
                                " shards=" + std::to_string(shards));
     }
   }
