@@ -21,6 +21,10 @@
 //   pdes_report --label x --append ../BENCH_pdes.json
 //   pdes_report --quick                 # 128 nodes, shards {1,2} (CI smoke)
 //   pdes_report --shards 4              # cap the shard sweep
+//   pdes_report --threads 1,2,4         # also sweep worker threads at the
+//                                       # top shard count (t-suffixed keys)
+//   pdes_report --large                 # add a 4096-node point at the top
+//                                       # shard count (50 ms window)
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -40,19 +44,24 @@ using namespace sim::time_literals;
 
 struct ShardRun {
   int shards = 1;
+  std::size_t threads = 0;      // 0 = auto (min(shards, host cores))
   std::uint64_t events = 0;
   double wall_s = 0;            // best-of-N measured wall (this host)
   std::uint64_t rounds = 0;
+  std::uint64_t horizon_extensions = 0;  // EOT horizons past the classic bound
   double critical_s = 0;        // sum over rounds of the slowest shard
   double serial_s = 0;          // sum over rounds of all shards' advance work
+  double barrier_wait_s = 0;    // coordinator join-wait (fork-join overhead)
   double projected_wall_s = 0;  // wall_s - serial_s + critical_s
 };
 
 /// One timed execution of the macro at `shards`; construction/teardown of
 /// the K engine stacks stays outside the timed window.
-ShardRun run_macro(int shards, int nodes, sim::SimTime duration, int reps) {
+ShardRun run_macro(int shards, std::size_t threads, int nodes,
+                   sim::SimTime duration, int reps) {
   ShardRun best;
   best.shards = shards;
+  best.threads = threads;
   best.wall_s = 1e100;
   for (int rep = 0; rep < reps; ++rep) {
     auto s = cluster::ScenarioBuilder{}
@@ -63,6 +72,7 @@ ShardRun run_macro(int shards, int nodes, sim::SimTime duration, int reps) {
                  .approach(cluster::Approach::kATC)
                  .seed(7)
                  .shards(shards)
+                 .shard_threads(threads)
                  .build();
     cluster::build_type_a(*s, "lu", workload::NpbClass::kB);
     s->start();
@@ -75,8 +85,10 @@ ShardRun run_macro(int shards, int nodes, sim::SimTime duration, int reps) {
       best.events = s->events_executed();
       if (const sim::ShardGroup* g = s->shard_group()) {
         best.rounds = g->stats().rounds;
+        best.horizon_extensions = g->stats().horizon_extensions;
         best.critical_s = g->stats().critical_s;
         best.serial_s = g->stats().serial_s;
+        best.barrier_wait_s = g->stats().barrier_wait_s;
       }
     }
   }
@@ -94,13 +106,16 @@ void emit_shard_run(std::ostringstream& os, int nodes, const ShardRun& r,
       r.projected_wall_s > 0
           ? static_cast<double>(r.events) / r.projected_wall_s
           : 0;
-  os << "      \"macro_lu" << nodes << "_s" << r.shards
-     << "\": {\"per_sec\": " << rb::json_number(per_sec)
+  os << "      \"macro_lu" << nodes << "_s" << r.shards;
+  if (r.threads != 0) os << "_t" << r.threads;
+  os << "\": {\"per_sec\": " << rb::json_number(per_sec)
      << ", \"events\": " << r.events
      << ", \"wall_s\": " << rb::json_number(r.wall_s)
      << ", \"rounds\": " << r.rounds
+     << ", \"horizon_extensions\": " << r.horizon_extensions
      << ", \"critical_s\": " << rb::json_number(r.critical_s)
      << ", \"serial_s\": " << rb::json_number(r.serial_s)
+     << ", \"barrier_wait_s\": " << rb::json_number(r.barrier_wait_s)
      << ", \"projected_wall_s\": " << rb::json_number(r.projected_wall_s)
      << ", \"projected_per_sec\": " << rb::json_number(projected_per_sec)
      << "}" << (last ? "\n" : ",\n");
@@ -112,7 +127,9 @@ int main(int argc, char** argv) {
   std::string label = "dev";
   std::string append_path;
   bool quick = false;
+  bool large = false;
   int max_shards = 8;
+  std::vector<std::size_t> thread_sweep;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     if (a == "--label" && i + 1 < argc) {
@@ -121,12 +138,27 @@ int main(int argc, char** argv) {
       append_path = argv[++i];
     } else if (a == "--quick") {
       quick = true;  // small macro, shards {1,2}: CI smoke on tiny runners
+    } else if (a == "--large") {
+      large = true;  // 4096-node point at the top shard count
     } else if (a == "--shards" && i + 1 < argc) {
       max_shards = std::atoi(argv[++i]);
+    } else if (a == "--threads" && i + 1 < argc) {
+      std::string list = argv[++i];
+      for (std::size_t pos = 0; pos < list.size();) {
+        const std::size_t comma = list.find(',', pos);
+        const std::string tok =
+            list.substr(pos, comma == std::string::npos ? comma : comma - pos);
+        if (!tok.empty()) {
+          thread_sweep.push_back(
+              static_cast<std::size_t>(std::atoi(tok.c_str())));
+        }
+        if (comma == std::string::npos) break;
+        pos = comma + 1;
+      }
     } else {
       std::fprintf(stderr,
                    "usage: %s [--label str] [--append BENCH_pdes.json] "
-                   "[--quick] [--shards K]\n",
+                   "[--quick] [--large] [--shards K] [--threads T1,T2,...]\n",
                    argv[0]);
       return 2;
     }
@@ -141,7 +173,35 @@ int main(int argc, char** argv) {
   for (int shards : {1, 2, 4, 8}) {
     if (shards > max_shards) break;
     std::fprintf(stderr, "pdes_report: macro_lu%d_s%d...\n", nodes, shards);
-    runs.push_back(run_macro(shards, nodes, duration, reps));
+    runs.push_back(run_macro(shards, /*threads=*/0, nodes, duration, reps));
+  }
+
+  // Thread sweep at the top shard count: same simulation (the merged
+  // outcome is thread-count invariant), different host-side parallelism —
+  // the number that actually measures the pool and barrier on >1 cores.
+  std::vector<ShardRun> thread_runs;
+  const int top_shards = runs.back().shards;
+  for (std::size_t t : thread_sweep) {
+    if (t == 0 || t > static_cast<std::size_t>(top_shards) || top_shards < 2) {
+      continue;
+    }
+    std::fprintf(stderr, "pdes_report: macro_lu%d_s%d_t%zu...\n", nodes,
+                 top_shards, t);
+    thread_runs.push_back(run_macro(top_shards, t, nodes, duration, reps));
+  }
+
+  // The 4096-node point: 8x the standard macro, a shorter window so the
+  // report stays runnable on laptop-class hosts.
+  std::vector<ShardRun> large_runs;
+  if (large) {
+    const int ln = 4096;
+    for (int shards : {1, top_shards}) {
+      if (shards > max_shards) break;
+      std::fprintf(stderr, "pdes_report: macro_lu%d_s%d...\n", ln, shards);
+      large_runs.push_back(
+          run_macro(shards, /*threads=*/0, ln, 50_ms, /*reps=*/1));
+      if (top_shards == 1) break;
+    }
   }
 
   std::ostringstream run;
@@ -158,6 +218,8 @@ int main(int argc, char** argv) {
          "the per-round slowest shard, the span a host with >= K cores "
          "cannot beat; measured numbers are from this host_cores host\",\n";
   for (const ShardRun& r : runs) emit_shard_run(run, nodes, r, false);
+  for (const ShardRun& r : thread_runs) emit_shard_run(run, nodes, r, false);
+  for (const ShardRun& r : large_runs) emit_shard_run(run, 4096, r, false);
   const double base_wall = runs.front().wall_s;
   run << "      \"speedup_measured\": {";
   for (std::size_t i = 1; i < runs.size(); ++i) {

@@ -13,21 +13,75 @@ using sim::SimTime;
 /// ShardGroup's round protocol.
 class Scenario::ShardExec final : public sim::ShardExecutor {
  public:
-  ShardExec(sim::Simulation& simulation, net::ShardFabric& fabric, int id)
-      : sim_(&simulation), fabric_(&fabric), id_(id) {}
+  ShardExec(sim::Simulation& simulation, net::ShardFabric& fabric,
+            net::VirtualNetwork& network, sim::SimTime out_slack, int id)
+      : sim_(&simulation),
+        fabric_(&fabric),
+        net_(&network),
+        out_slack_(out_slack),
+        id_(id) {}
 
   int shard_id() const override { return id_; }
   sim::SimTime next_event_time() const override {
     return sim_->next_event_time();
   }
-  void deliver_inbound() override { fabric_->deliver_to(id_); }
+  sim::SimTime earliest_output_time() const override {
+    // Every cross-shard post happens inside a dom0 netback tx job, and that
+    // job exists only because guest code sent a packet.  Three regimes:
+    //   * a remote send is already in flight (job queued or computing): its
+    //     post can land while any pending event runs — next_event_time is
+    //     the only safe bound;
+    //   * local packets or disk requests are in flight: their completions
+    //     deposit mail that re-enters guest code at events the engine's
+    //     timer list never sees, so the next event is the only safe floor;
+    //   * the shard is quiescent on the I/O side: the engine's
+    //     earliest_effect_time lower-bounds the next *network act* — each
+    //     VCPU's remaining compute plus its workload's declared distance to
+    //     its next send (an LU rank mid-superstep is whole compute segments
+    //     away from its barrier message; loop guests never send at all).
+    // A fresh post then still needs the dom0 tx job, which consumes at
+    // least dom0_packet_cost of CPU — the slack that lets neighbours run
+    // far past this shard's purely local timers and compute phases.
+    const sim::SimTime next = sim_->next_event_time();
+    if (next == sim::kTimeNever) return sim::kTimeNever;
+    if (net_->pending_remote_tx() > 0) return next;
+    sim::SimTime entry = next;
+    if (net_->packets_in_flight() == 0) {
+      entry = std::max(entry, net_->engine().earliest_effect_time());
+    }
+    if (entry == sim::kTimeNever) return sim::kTimeNever;
+    return entry + out_slack_;
+  }
+  sim::SimTime pending_inbound_time() const override {
+    return fabric_->pending_due(id_);
+  }
+  void deliver_inbound(sim::SimTime watermark) override {
+    fabric_->deliver_to(id_, watermark);
+  }
   std::uint64_t advance_to(sim::SimTime horizon) override {
-    return sim_->run_until(horizon);
+    // Interleave execution with sealed-packet delivery: a packet due at d
+    // is handed to the network only once every local event at or before d
+    // has run, so the event-queue interleaving at each timestamp — and
+    // with it the merged trace — is a pure function of the simulation
+    // state, not of how early a round's horizon made the packet
+    // deliverable.  (Delivering everything up front at the phase start
+    // would insert packet arrivals ahead of same-due local events in some
+    // round structures and behind them in others.)
+    std::uint64_t n = 0;
+    for (;;) {
+      const sim::SimTime due = fabric_->ready_due(id_);
+      if (due > horizon) break;
+      n += sim_->run_until(due);
+      fabric_->deliver_to(id_, due);
+    }
+    return n + sim_->run_until(horizon);
   }
 
  private:
   sim::Simulation* sim_;
   net::ShardFabric* fabric_;
+  net::VirtualNetwork* net_;
+  sim::SimTime out_slack_;
   int id_;
 };
 
@@ -319,7 +373,8 @@ void Scenario::start() {
     std::vector<sim::ShardExecutor*> execs;
     for (std::size_t k = 0; k < stacks_.size(); ++k) {
       executors_.push_back(std::make_unique<ShardExec>(
-          stacks_[k]->simulation, *fabric_, static_cast<int>(k)));
+          stacks_[k]->simulation, *fabric_, *stacks_[k]->network,
+          config_.params.dom0_packet_cost, static_cast<int>(k)));
       execs.push_back(executors_.back().get());
     }
     sim::ShardGroup::Options opts;
@@ -327,6 +382,18 @@ void Scenario::start() {
     // source-NIC completion, so that delay is the safe lookahead.
     opts.lookahead = config_.params.wire_latency;
     opts.threads = config_.shard_threads;
+    opts.eot_extension = config_.params.pdes_eot_extension;
+    opts.barrier = config_.params.pdes_spin_barrier
+                       ? sim::ShardGroup::Barrier::kSpin
+                       : sim::ShardGroup::Barrier::kCondvar;
+    // Receive-to-emit slack: a delivered packet pays a dom0 rx job and any
+    // consequent send pays a dom0 tx job, each at least dom0_packet_cost of
+    // CPU time, before it can reach the fabric again.
+    opts.chain_slack = 2 * config_.params.dom0_packet_cost;
+    opts.round_prologue = [fabric = fabric_.get()] { fabric->seal_round(); };
+    // Round events land in shard 0's sink (enable_tracing runs before
+    // start(), so the pointer is final here; null stays null).
+    opts.trace = stacks_[0]->trace_sink.get();
     group_ = std::make_unique<sim::ShardGroup>(std::move(execs), opts);
   }
 }

@@ -1,5 +1,6 @@
 #include "net/fabric.h"
 
+#include <algorithm>
 #include <cassert>
 #include <numeric>
 
@@ -7,16 +8,31 @@
 
 namespace atcsim::net {
 
+namespace {
+
+/// Descending canonical order: delivery pops the *smallest* (due, src, seq)
+/// off the back of a ready queue.
+bool after(const ShardFabric::RemotePacket& a,
+           const ShardFabric::RemotePacket& b) {
+  if (a.due != b.due) return a.due > b.due;
+  if (a.src != b.src) return a.src > b.src;
+  return a.seq > b.seq;
+}
+
+}  // namespace
+
 ShardFabric::ShardFabric(int shards, std::size_t mailbox_slots)
     : shards_(shards),
       nets_(static_cast<std::size_t>(shards), nullptr),
       platforms_(static_cast<std::size_t>(shards), nullptr),
       boxes_(static_cast<std::size_t>(shards) *
              static_cast<std::size_t>(shards)),
+      ready_(static_cast<std::size_t>(shards)),
       posted_(static_cast<std::size_t>(shards), 0),
       delivered_(static_cast<std::size_t>(shards), 0) {
   assert(shards_ >= 2 && "a fabric only exists between shards");
-  for (auto& b : boxes_) b.reserve(mailbox_slots);
+  for (auto& b : boxes_) b.staged.reserve(mailbox_slots);
+  for (auto& r : ready_) r.q.reserve(mailbox_slots);
 }
 
 void ShardFabric::bind(int shard, VirtualNetwork& net) {
@@ -39,22 +55,58 @@ void ShardFabric::post(int src_shard, virt::Vm& dst, sim::SimTime due,
                        std::uint64_t bytes, sim::InlineCallback done) {
   const int dst_shard = shard_of(&dst.node().platform());
   assert(dst_shard != src_shard && "local packets never enter the fabric");
-  box(src_shard, dst_shard)
-      .push_back(RemotePacket{due, &dst, bytes, std::move(done)});
+  Box& b = box(src_shard, dst_shard);
+  b.staged.push_back(RemotePacket{due, &dst, bytes, src_shard, b.next_seq++,
+                                  std::move(done)});
+  b.staged_min = std::min(b.staged_min, due);
   ++posted_[static_cast<std::size_t>(src_shard)];
 }
 
-void ShardFabric::deliver_to(int dst_shard) {
+void ShardFabric::seal_round() {
+  for (int dst = 0; dst < shards_; ++dst) {
+    auto& q = ready_[static_cast<std::size_t>(dst)].q;
+    bool dirty = false;
+    for (int src = 0; src < shards_; ++src) {
+      Box& b = box(src, dst);
+      if (b.staged.empty()) continue;
+      for (RemotePacket& pkt : b.staged) q.push_back(std::move(pkt));
+      b.staged.clear();  // capacity retained: steady state never reallocates
+      b.staged_min = sim::kTimeNever;
+      dirty = true;
+    }
+    // In-place introsort (std::stable_sort would allocate).  Ties across the
+    // sealed/resident boundary cannot exist — equal keys are impossible and
+    // equal (due, src) pairs are FIFO-ordered by seq — so plain sort is
+    // deterministic here.
+    if (dirty) std::sort(q.begin(), q.end(), after);
+  }
+}
+
+void ShardFabric::deliver_to(int dst_shard, sim::SimTime watermark) {
   VirtualNetwork* net = nets_[static_cast<std::size_t>(dst_shard)];
   assert(net != nullptr);
-  for (int src = 0; src < shards_; ++src) {
-    auto& mailbox = box(src, dst_shard);
-    for (RemotePacket& pkt : mailbox) {
-      net->receive_remote(pkt);
-      ++delivered_[static_cast<std::size_t>(dst_shard)];
-    }
-    mailbox.clear();  // capacity retained; steady state never reallocates
+  auto& q = ready_[static_cast<std::size_t>(dst_shard)].q;
+  while (!q.empty() && q.back().due <= watermark) {
+    RemotePacket pkt = std::move(q.back());
+    q.pop_back();
+    net->receive_remote(pkt);
+    ++delivered_[static_cast<std::size_t>(dst_shard)];
   }
+}
+
+sim::SimTime ShardFabric::pending_due(int dst_shard) const {
+  sim::SimTime earliest = sim::kTimeNever;
+  for (int src = 0; src < shards_; ++src) {
+    earliest = std::min(earliest, box(src, dst_shard).staged_min);
+  }
+  const auto& q = ready_[static_cast<std::size_t>(dst_shard)].q;
+  if (!q.empty()) earliest = std::min(earliest, q.back().due);
+  return earliest;
+}
+
+sim::SimTime ShardFabric::ready_due(int dst_shard) const {
+  const auto& q = ready_[static_cast<std::size_t>(dst_shard)].q;
+  return q.empty() ? sim::kTimeNever : q.back().due;
 }
 
 std::uint64_t ShardFabric::posted() const {

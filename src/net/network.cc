@@ -223,14 +223,18 @@ void VirtualNetwork::tx_effect(PacketRef r) {
     virt::Vm* dst = p.dst;
     const std::uint64_t bytes = p.bytes;
     fabric_->post(shard_, *dst, arrive, bytes, release(r));
+    assert(pending_remote_tx_ > 0);
+    --pending_remote_tx_;
     return;
   }
   simulation().call_at(arrive, [this, r] { rx_arrive(r); });
 }
 
 void VirtualNetwork::receive_remote(ShardFabric::RemotePacket& pkt) {
-  // Lookahead safety: a remote packet is delivered between rounds and must
-  // be due strictly ahead of this shard's clock.
+  // Lookahead safety: a remote packet is delivered at its canonical point —
+  // after every local event at or before its due time — so the clock is at
+  // most pkt.due here, with equality the common case (ShardExec::advance_to
+  // runs local events up to the due time before delivering the batch).
   assert(pkt.due >= simulation().now() &&
          "cross-shard packet due in the past: lookahead violated");
   const PacketRef r = acquire(pkt.bytes, pkt.dst, -1,
@@ -318,6 +322,7 @@ void VirtualNetwork::send(virt::Vm& src, virt::Vm& dst, std::uint64_t bytes,
                          src.node().id().value, &src,
                          static_cast<std::int64_t>(bytes), dst.id().value));
   const bool remote = &dst.node().platform() != platform_;
+  if (remote) ++pending_remote_tx_;
   const PacketRef r =
       acquire(bytes, &dst, src.node().index(),
               remote ? kRemoteNode : dst.node().index(),

@@ -105,6 +105,14 @@ class VirtualNetwork {
   /// (the lookahead guarantee), which the assert inside enforces.
   void receive_remote(ShardFabric::RemotePacket& pkt);
 
+  /// Cross-shard sends accepted by send() whose fabric post has not happened
+  /// yet (the source dom0 netback job is still queued or computing).  When
+  /// zero, any future fabric post from this shard must begin with a fresh
+  /// guest send and then pay a dom0 tx job of at least dom0_packet_cost CPU
+  /// time — the slack Scenario's earliest-output-time bound is built on
+  /// (DESIGN.md §10).
+  std::size_t pending_remote_tx() const { return pending_remote_tx_; }
+
   /// Guest-to-guest message.  `on_delivered` runs in the destination guest's
   /// context (event-channel mailbox), i.e. only once that VM can process
   /// interrupts.
@@ -217,6 +225,7 @@ class VirtualNetwork {
 
   virt::Platform* platform_;
   ShardFabric* fabric_ = nullptr;  ///< non-null only in sharded runs
+  std::size_t pending_remote_tx_ = 0;  ///< remote sends awaiting fabric post
   int shard_ = 0;
   std::vector<NodeState> nodes_;
   Counters counters_;

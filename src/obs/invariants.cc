@@ -50,6 +50,20 @@ void InvariantChecker::on_event(const TraceEvent& e) {
   recent_.push_back(e);
   if (recent_.size() > kContextEvents) recent_.pop_front();
 
+  if (e.cat == TraceCat::kPdes) {
+    // Synchronizer events are stamped with the round's global earliest
+    // event time m, which lawfully precedes model events a shard already
+    // executed past m (per-shard horizons overshoot the global minimum).
+    // m itself is strictly increasing across rounds, so the kPdes stream
+    // gets its own monotonic clock instead of the model-event clock.
+    if (e.time < pdes_last_time_) {
+      violate(e, "time-monotonic",
+              "round timestamp " + std::to_string(e.time) + " precedes " +
+                  std::to_string(pdes_last_time_));
+    }
+    pdes_last_time_ = e.time;
+    return;
+  }
   if (e.time < last_time_) {
     violate(e, "time-monotonic",
             "timestamp " + std::to_string(e.time) + " precedes " +

@@ -77,6 +77,7 @@ class InvariantChecker {
   std::uint64_t events_checked_ = 0;
 
   sim::SimTime last_time_ = 0;
+  sim::SimTime pdes_last_time_ = 0;  ///< separate clock for kPdes round events
   static constexpr std::size_t kContextEvents = 32;
   std::deque<TraceEvent> recent_;
 

@@ -10,6 +10,7 @@ const char* cat_name(TraceCat c) {
     case TraceCat::kSync: return "sync";
     case TraceCat::kAtc: return "atc";
     case TraceCat::kNet: return "net";
+    case TraceCat::kPdes: return "pdes";
   }
   return "?";
 }
@@ -62,6 +63,13 @@ const char* type_name(TraceCat c, std::uint8_t type) {
         case ev::kDiskSubmit: return "disk_submit";
         case ev::kDiskDone: return "disk_done";
         case ev::kRingGrow: return "ring_grow";
+      }
+      break;
+    case TraceCat::kPdes:
+      switch (type) {
+        case ev::kRoundBegin: return "round_begin";
+        case ev::kRoundHorizon: return "round_horizon";
+        case ev::kRoundElide: return "round_elide";
       }
       break;
   }

@@ -35,8 +35,9 @@ enum class TraceCat : std::uint8_t {
   kSync = 3,   ///< SyncEvent spin episodes and signals
   kAtc = 4,    ///< adaptive time-slice controller decisions
   kNet = 5,    ///< split-driver I/O hops
+  kPdes = 6,   ///< sharded-run round synchronizer (ShardGroup)
 };
-inline constexpr int kTraceCatCount = 6;
+inline constexpr int kTraceCatCount = 7;
 
 constexpr std::uint32_t cat_bit(TraceCat c) {
   return 1u << static_cast<unsigned>(c);
@@ -76,6 +77,11 @@ inline constexpr std::uint8_t kInject = 3;    ///< a0=bytes (external -> guest)
 inline constexpr std::uint8_t kDiskSubmit = 4;  ///< a0=bytes
 inline constexpr std::uint8_t kDiskDone = 5;    ///< a0=bytes
 inline constexpr std::uint8_t kRingGrow = 6;  ///< a0=new cap, a1=old cap (dom0 job ring)
+// TraceCat::kPdes (emitted by the round coordinator into shard 0's sink;
+// time = the round's global earliest event time m)
+inline constexpr std::uint8_t kRoundBegin = 0;    ///< a0=round index, a1=shards
+inline constexpr std::uint8_t kRoundHorizon = 1;  ///< a0=min horizon, a1=max horizon
+inline constexpr std::uint8_t kRoundElide = 2;    ///< a0=classic rounds covered, a1=extended shards
 }  // namespace ev
 
 /// VCPU leave-CPU reasons (kVcpu/kLeave a0); mirrors Engine::LeaveReason.

@@ -119,6 +119,13 @@ std::uint32_t EventQueue::alloc_slot() {
   if (payload_chunks_.size() * kChunkSize < meta_.size()) {
     payload_chunks_.push_back(std::make_unique<Callback[]>(kChunkSize));
   }
+  // The free list holds at most every slot, so growing it here (and only
+  // here) keeps the pop()/cancel() paths allocation-free: a slab high-water
+  // mark reached during warm-up covers any later free-at-once high water.
+  // Doubling keeps the slab-growth path amortized O(1) as well.
+  if (free_.capacity() < meta_.size()) {
+    free_.reserve(std::max(meta_.size(), free_.capacity() * 2));
+  }
   return static_cast<std::uint32_t>(meta_.size() - 1);
 }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <functional>
 
 #include "obs/trace.h"
 #include "virt/scheduler.h"
@@ -334,6 +335,7 @@ void Engine::deposit(Vm& vm, sim::InlineCallback handler) {
     return;
   }
   vm.mailbox().push_back(std::move(handler));
+  ++deposits_pending_;
   // Event-channel interrupt: wake a halted VCPU so the VM gets scheduled.
   if (Vcpu* b = vm.first_blocked()) wake(*b);
 }
@@ -347,10 +349,136 @@ void Engine::drain_mailbox(Vm& vm) {
   auto& scratch = vm.mailbox_scratch();
   while (!box.empty()) {
     assert(scratch.empty());
+    assert(deposits_pending_ >= box.size());
+    deposits_pending_ -= box.size();
     box.swap(scratch);
     for (auto& h : scratch) h();
     scratch.clear();
   }
+}
+
+void Engine::signal_in(SyncEvent& ev, sim::SimTime delay) {
+  prune_effect_entries();
+  effect_entries_.push_back({sim_->now() + delay, &ev});
+  SyncEvent* evp = &ev;
+  sim_->call_in(delay, [evp] { evp->signal(); });
+}
+
+void Engine::note_effect_at(sim::SimTime when) {
+  prune_effect_entries();
+  effect_entries_.push_back({when, nullptr});
+}
+
+void Engine::prune_effect_entries() {
+  // Amortized stale-entry sweep for runs that never call
+  // earliest_effect_time (unsharded scenarios): without it the vector
+  // grows by one per registered timer forever.  The doubling threshold
+  // keeps the amortized cost O(1) per registration and the vector within
+  // 2x its live population.
+  if (effect_entries_.size() < effect_prune_threshold_) return;
+  const sim::SimTime now = sim_->now();
+  for (std::size_t i = 0; i < effect_entries_.size();) {
+    if (effect_entries_[i].when <= now) {
+      effect_entries_[i] = effect_entries_.back();
+      effect_entries_.pop_back();
+    } else {
+      ++i;
+    }
+  }
+  effect_prune_threshold_ = std::max<std::size_t>(
+      kEffectPruneFloor, effect_entries_.size() * 2);
+}
+
+namespace {
+
+/// kTimeNever-absorbing addition (both operands are non-negative times).
+sim::SimTime sat_add(sim::SimTime a, sim::SimTime b) {
+  if (a >= sim::kTimeNever - b) return sim::kTimeNever;
+  return a + b;
+}
+
+}  // namespace
+
+sim::SimTime Engine::earliest_effect_time() {
+  const SimTime now = sim_->now();
+  if (deposits_pending_ > 0) return now;  // queued handlers may send at the
+                                          // owning VM's next dispatch
+  SimTime bound = sim::kTimeNever;
+  // Pending timers.  A direct-injection entry acts at its fire time; a
+  // SyncEvent entry only starts its waiters, who then owe their own
+  // declared distance before they can reach the network.  An entry whose
+  // event has no registered waiters is dropped: any VCPU that waits on it
+  // later reaches that wait through next() calls its own per-VCPU bound
+  // below already covers (distance scans continue through wait steps).
+  for (std::size_t i = 0; i < effect_entries_.size();) {
+    const EffectEntry& entry = effect_entries_[i];
+    if (entry.when <= now) {  // fired; prune (order is irrelevant to a min)
+      effect_entries_[i] = effect_entries_.back();
+      effect_entries_.pop_back();
+      continue;
+    }
+    if (entry.ev == nullptr) {
+      bound = std::min(bound, entry.when);
+    } else if (!entry.ev->waiters().empty()) {
+      SimTime dist = sim::kTimeNever;
+      for (const Vcpu* w : entry.ev->waiters()) {
+        const Workload* wl = w->workload();
+        dist = std::min(dist, wl != nullptr ? wl->effect_distance()
+                                            : sim::SimTime{0});
+      }
+      bound = std::min(bound, sat_add(entry.when, dist));
+    }
+    ++i;
+  }
+  for (auto& node : platform_->nodes()) {
+    for (auto& vm : node->vms()) {
+      for (auto& v : vm->vcpus()) {
+        const auto& e = v->eng();
+        const VcpuState st = v->state();
+        if (st == VcpuState::kDone) continue;
+        if (st == VcpuState::kBlocked) {
+          // A blocked VCPU resumes only when something signals it: local
+          // guest code (whose effect_distance contract covers the VCPUs it
+          // unblocks), a registered timer (credited with this waiter's
+          // distance above), a deposit (counted above), or an in-flight I/O
+          // completion (the caller's packets_in_flight check).  It
+          // contributes no bound of its own.
+          continue;
+        }
+        const Workload* wl = v->workload();
+        const SimTime dist =
+            wl != nullptr ? wl->effect_distance() : sim::SimTime{0};
+        if (e.action_valid && e.action.kind == Action::Kind::kCompute) {
+          // The current segment completes when its remaining debt + work is
+          // burned (preemption only pushes that later; the fields are as of
+          // segment_start, and a descheduled segment still owes debt + left
+          // from whenever it is next dispatched, >= now).  Only then does
+          // next() run, and the program is still `dist` away from the
+          // network at that point.
+          const SimTime base =
+              (st == VcpuState::kRunning ? e.segment_start : now) +
+              e.cache_debt + e.compute_left;
+          bound = std::min(bound, sat_add(base, dist));
+          continue;
+        }
+        if (e.action_valid &&
+            (e.action.kind == Action::Kind::kSpinWait ||
+             e.action.kind == Action::Kind::kBlockWait) &&
+            !e.action.event->signalled()) {
+          // Unsignalled waiter: proceeds only when signalled, and every
+          // signal source is covered — guest signallers by the unblock
+          // clause of their own effect_distance, timers by the entry loop
+          // above, deposits and I/O chains by their counters.
+          continue;
+        }
+        // Signalled waiter awaiting dispatch, or a fresh/woken VCPU with no
+        // action drawn: next() can run at its very next dispatch (>= now),
+        // after which the program owes `dist` before touching the network.
+        bound = std::min(bound, sat_add(now, dist));
+      }
+    }
+  }
+  return bound;
 }
 
 void Engine::wake(Vcpu& v) {

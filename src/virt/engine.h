@@ -4,7 +4,16 @@
 // and for *how long*; the engine executes guest programs, accounts CPU/spin
 // time, applies context-switch and cache-refill costs, delivers event-channel
 // mail, and services SyncEvent signals.
+//
+// It also answers the sharded synchronizer's question "when could guest code
+// next act on the network here?" (earliest_effect_time): workload timers
+// register through signal_in/note_effect_at, queued event-channel mail is
+// counted, and every runnable/running VCPU is bounded by its remaining
+// compute plus its workload's declared distance to its next network act
+// (Workload::effect_distance) — see DESIGN.md §10.
 #pragma once
+
+#include <vector>
 
 #include "simcore/inline_callback.h"
 #include "simcore/simulation.h"
@@ -49,6 +58,37 @@ class Engine {
   /// SyncEvent plumbing: called by SyncEvent::signal with its waiter list.
   void on_signalled(const std::vector<Vcpu*>& waiters);
 
+  /// Schedules `ev.signal()` in `delay` and records the pending wake so
+  /// earliest_effect_time can see it.  Every workload timer whose firing can
+  /// re-enter guest code (think sleeps, paced senders) must use this — or
+  /// note_effect_at for non-SyncEvent callbacks — instead of a raw
+  /// Simulation::call_in, or the sharded synchronizer's output bound would
+  /// let neighbour shards outrun the traffic the timer triggers.  The
+  /// pending entry is credited with the registered waiters' own
+  /// effect_distance, so the caller should block on `ev` within the same
+  /// event (both signal_in users do).
+  void signal_in(SyncEvent& ev, sim::SimTime delay);
+
+  /// Records that a registered timer may act on the network at `when`
+  /// (absolute).  Cheap: one push into a lazily-pruned vector.
+  void note_effect_at(sim::SimTime when);
+
+  /// Event-channel mail queued in VM mailboxes (handlers that will run at
+  /// the owning VM's next dispatch).
+  std::size_t pending_deposits() const { return deposits_pending_; }
+
+  /// Conservative lower bound on the next simulated time guest code on this
+  /// platform can act on the network (a VirtualNetwork send or inject),
+  /// from the current rest state; kTimeNever when nothing ever will.  Each
+  /// live VCPU contributes its remaining compute plus its workload's
+  /// effect_distance; pending timers contribute their fire time plus their
+  /// waiters' distance; queued deposits degrade the bound to now.  In-flight
+  /// I/O chains (packets, disk) are the *caller's* responsibility to check
+  /// (VirtualNetwork::packets_in_flight), since their completion events
+  /// deposit mail this scan never sees.  Call only while the simulation is
+  /// at rest (between PDES phases), never from inside an event.
+  sim::SimTime earliest_effect_time();
+
   /// Total context switches executed platform-wide.
   std::uint64_t total_switches() const { return total_switches_; }
 
@@ -69,6 +109,24 @@ class Engine {
   Platform* platform_;
   bool started_ = false;
   std::uint64_t total_switches_ = 0;
+  std::size_t deposits_pending_ = 0;
+  /// A registered timer that can lead guest code back to the network: fires
+  /// at `when`, waking `ev`'s waiters (nullptr: a direct injection at
+  /// `when`, e.g. an open-loop client's next arrival).
+  struct EffectEntry {
+    sim::SimTime when = 0;
+    SyncEvent* ev = nullptr;
+  };
+  /// Unordered; entries are swap-removed lazily in earliest_effect_time
+  /// once they fall at or behind the clock, and by prune_effect_entries
+  /// (amortized, on registration) so runs that never ask for the bound
+  /// don't grow the vector forever.  Capacity is retained, so the steady
+  /// state of a timer-driven workload allocates nothing after warm-up.
+  std::vector<EffectEntry> effect_entries_;
+  static constexpr std::size_t kEffectPruneFloor = 16;
+  std::size_t effect_prune_threshold_ = kEffectPruneFloor;
+
+  void prune_effect_entries();
 };
 
 }  // namespace atcsim::virt

@@ -115,6 +115,22 @@ struct ModelParams {
   /// one round's cross-shard exchange batch.
   std::size_t pdes_mailbox_slots = 256;
 
+  /// When true (default), the round synchronizer extends per-shard horizons
+  /// past the classic global_min + wire_latency bound using each shard's
+  /// earliest-output-time: a shard whose next events are purely local
+  /// (timers, compute segments, dom0 work with no remote send in flight)
+  /// cannot cap its neighbours before it could actually emit a packet, so
+  /// rounds get fewer and fatter (DESIGN.md §10).  The simulated outcome is
+  /// bit-identical either way; only the round structure changes.
+  bool pdes_eot_extension = true;
+
+  /// When true (default), the shard worker pool synchronizes rounds with an
+  /// epoch-based spin-then-park barrier (atomic wait/notify after a short
+  /// spin) instead of two condvar handshakes.  Purely a host-side speed
+  /// knob: the simulated outcome and the merged trace are byte-identical
+  /// under either barrier.
+  bool pdes_spin_barrier = true;
+
   // --- Disk (blkback path) ----------------------------------------------
   /// Device service latency per request once dom0 has issued it.
   SimTime disk_latency = 150_us;

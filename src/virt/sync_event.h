@@ -56,6 +56,10 @@ class SyncEvent {
   void add_waiter(Vcpu& v) { waiters_.push_back(&v); }
   void remove_waiter(const Vcpu& v);
 
+  /// Currently registered waiters — read by Engine::earliest_effect_time to
+  /// bound the network acts a pending timer signal can unleash.
+  const std::vector<Vcpu*>& waiters() const { return waiters_; }
+
  private:
   Engine& engine_;
   bool signalled_ = false;

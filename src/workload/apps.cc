@@ -107,10 +107,9 @@ virt::Action LoopWorkload::next(virt::Vcpu& /*self*/) {
         } else {
           think_->reset();
         }
-        virt::SyncEvent* ev = think_.get();
-        net_->simulation().call_in(
-            std::max<sim::SimTime>(rng_.jittered(p.duration, p.jitter), 1),
-            [ev] { ev->signal(); });
+        net_->engine().signal_in(
+            *think_,
+            std::max<sim::SimTime>(rng_.jittered(p.duration, p.jitter), 1));
         return virt::Action::block_wait(*think_);
       }
       case PhaseKind::kIo: {
@@ -180,8 +179,7 @@ virt::Action PingWorkload::next(virt::Vcpu& /*self*/) {
       } else {
         sleep_->reset();
       }
-      virt::SyncEvent* sleep = sleep_.get();
-      net_->simulation().call_in(cfg_.interval, [sleep] { sleep->signal(); });
+      net_->engine().signal_in(*sleep_, cfg_.interval);
       return virt::Action::block_wait(*sleep_);
     }
   }
@@ -252,7 +250,11 @@ void HttperfClient::start() { arrival(); }
 void HttperfClient::arrival() {
   const double gap_s = rng_.exponential(1.0 / cfg_.rate_per_second);
   const SimTime gap = static_cast<SimTime>(gap_s * 1e9);
-  net_->simulation().call_in(std::max<SimTime>(gap, 1), [this] {
+  const SimTime wait = std::max<SimTime>(gap, 1);
+  // Not a SyncEvent wake, but the injection is itself a network act, so
+  // the sharded output bound must see it.
+  net_->engine().note_effect_at(net_->simulation().now() + wait);
+  net_->simulation().call_in(wait, [this] {
     const SimTime t0 = net_->simulation().now();
     WebServerWorkload* server = server_;
     net_->inject(*server_vm_, cfg_.request_bytes,

@@ -80,6 +80,30 @@ BspApp::BspApp(std::vector<virt::Vm*> vms, const Descriptor& desc,
 
 void BspApp::init_slots() {
   assert(!vm_ptrs_.empty());
+  // Per-position effect distances (Workload::effect_distance): from drawing
+  // step i, the minimum delay until the program's next network act — the
+  // kSend or kBarrier draw itself.  Compute/think steps contribute their
+  // jitter floor; local barriers and disk I/O are VM-local, so the waits
+  // they impose only add time and count as zero.  Unblock clause: the only
+  // VCPUs a draw can unblock are co-ranks at the same local barrier, whose
+  // remaining program — and therefore distance — is the continuation this
+  // same scan walks, and barrier releases, which the scan's stop at
+  // kBarrier already bounds from below.
+  effect_dist_.assign(program_.size(), sim::kTimeNever);
+  for (std::size_t i = 0; i < program_.size(); ++i) {
+    SimTime acc = 0;
+    for (std::size_t n = 0, pc = i; n < program_.size();
+         ++n, pc = (pc + 1) % program_.size()) {
+      const Step& st = program_[pc];
+      if (st.kind == PhaseKind::kSend || st.kind == PhaseKind::kBarrier) {
+        effect_dist_[i] = acc;
+        break;
+      }
+      if (st.kind == PhaseKind::kCompute || st.kind == PhaseKind::kThink) {
+        acc += sim::Rng::jittered_floor(st.duration, st.jitter);
+      }
+    }
+  }
   vms_.resize(vm_ptrs_.size());
   for (std::size_t i = 0; i < vm_ptrs_.size(); ++i) {
     VmState& vs = vms_[i];
@@ -233,11 +257,9 @@ virt::Action BspRank::next(virt::Vcpu& /*self*/) {
       case PhaseKind::kThink: {
         // Blocked sleep: halt until a timer on the VM's own shard fires.
         virt::SyncEvent& ev = armed_event(think_);
-        virt::SyncEvent* evp = &ev;
         virt::Vm& vm = *app_->vm_ptrs_[static_cast<std::size_t>(vm_index_)];
-        vm.node().platform().simulation().call_in(
-            std::max<SimTime>(rng_.jittered(st.duration, st.jitter), 1),
-            [evp] { evp->signal(); });
+        vm.node().platform().engine().signal_in(
+            ev, std::max<SimTime>(rng_.jittered(st.duration, st.jitter), 1));
         return virt::Action::block_wait(ev);
       }
       case PhaseKind::kIo: {

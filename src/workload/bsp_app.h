@@ -101,6 +101,11 @@ class BspApp {
 
   const BspConfig& config() const { return cfg_; }
   const std::vector<Step>& program() const { return program_; }
+  /// Lower bound on the delay from drawing step `pc` to the program's next
+  /// network act (a kSend or kBarrier draw), per Workload::effect_distance.
+  sim::SimTime effect_distance_from(std::size_t pc) const {
+    return effect_dist_[pc];
+  }
   std::uint64_t supersteps_completed() const { return supersteps_done_; }
   const std::vector<virt::Vm*>& vms() const { return vm_ptrs_; }
 
@@ -157,6 +162,7 @@ class BspApp {
 
   BspConfig cfg_;
   std::vector<Step> program_;
+  std::vector<sim::SimTime> effect_dist_;  ///< see effect_distance_from
   int local_count_ = 0;  ///< local_barrier steps per program pass
   sim::Rng rng_;
   std::vector<VmState> vms_;
@@ -180,6 +186,12 @@ class BspRank : public virt::Workload {
   virt::Action next(virt::Vcpu& self) override;
   double cache_sensitivity() const override {
     return app_->config().cache_sensitivity;
+  }
+  /// O(1): the program-position table precomputed by BspApp.  This is what
+  /// lets shard horizons stride over LU compute segments — a rank mid-
+  /// superstep is provably milliseconds away from its next barrier message.
+  sim::SimTime effect_distance() const override {
+    return app_->effect_distance_from(pc_);
   }
   std::string name() const override {
     return app_->config().name + "/r" + std::to_string(rank_);

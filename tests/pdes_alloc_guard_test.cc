@@ -2,7 +2,8 @@
 // (DESIGN.md §10) — the PDES sibling of net_alloc_guard_test.cc:
 //
 //   guest send -> source NIC -> ShardFabric mailbox post -> round barrier
-//   -> deliver_inbound drain -> destination NIC arrival -> guest delivery,
+//   -> round delivery at the packet due time -> destination NIC arrival
+//   -> guest delivery,
 //
 // pumped as a ping-pong between two shards so every packet crosses the
 // fabric and both mailbox directions reach their high-water capacity.
@@ -70,9 +71,24 @@ class Exec final : public sim::ShardExecutor {
   sim::SimTime next_event_time() const override {
     return sim_.next_event_time();
   }
-  void deliver_inbound() override { fabric_.deliver_to(id_); }
+  sim::SimTime pending_inbound_time() const override {
+    return fabric_.pending_due(id_);
+  }
+  void deliver_inbound(sim::SimTime watermark) override {
+    fabric_.deliver_to(id_, watermark);
+  }
   std::uint64_t advance_to(sim::SimTime horizon) override {
-    return sim_.run_until(horizon);
+    // Per the ShardExecutor contract, sealed inbound packets due inside the
+    // horizon are consumed at their canonical points: local events first up
+    // to each batch's due time, then the batch.
+    std::uint64_t n = 0;
+    for (;;) {
+      const sim::SimTime due = fabric_.ready_due(id_);
+      if (due > horizon) break;
+      n += sim_.run_until(due);
+      fabric_.deliver_to(id_, due);
+    }
+    return n + sim_.run_until(horizon);
   }
 
  private:
@@ -130,6 +146,9 @@ struct ShardedPktRig {
     sim::ShardGroup::Options opts;
     opts.lookahead = params.wire_latency;
     opts.threads = threads;
+    // Staged mailboxes: the group must seal posts into the ready queues
+    // before every delivery sweep or they never become visible.
+    opts.round_prologue = [this] { fabric.seal_round(); };
     group = std::make_unique<sim::ShardGroup>(
         std::vector<sim::ShardExecutor*>{execs[0].get(), execs[1].get()},
         opts);

@@ -19,11 +19,13 @@
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "cluster/scenario.h"
 #include "cluster/scenarios.h"
 #include "net/fabric.h"
+#include "simcore/shard.h"
 #include "obs/export.h"
 #include "virt/params.h"
 #include "workload/apps.h"
@@ -43,7 +45,16 @@ struct RunResult {
   double rate = 0.0;  // summed work-rate units (loop descriptors)
   std::uint64_t fabric_posted = 0;
   std::uint64_t fabric_delivered = 0;
+  std::uint64_t rounds = 0;              // ShardGroup stats (sharded only)
+  std::uint64_t horizon_extensions = 0;  // "
   std::string trace;  // merged compact trace; empty unless requested
+  // Digests of the merged trace (trace_hash mode): the whole byte stream,
+  // and the stream with the coordinator's pdes.* round events stripped.
+  // Used instead of `trace` where holding several multi-GB strings would
+  // dominate the test's memory.
+  std::uint64_t trace_full_hash = 0;
+  std::uint64_t trace_stripped_hash = 0;
+  std::uint64_t trace_bytes = 0;
 };
 
 struct RunCase {
@@ -52,13 +63,51 @@ struct RunCase {
   std::uint64_t seed = 7;
   Approach approach = Approach::kCR;
   std::size_t threads = 0;   // ShardGroup workers; 0 = auto
-  bool trace = false;
+  bool eot = true;           // EOT horizon extension (pdes_eot_extension)
+  bool spin_barrier = true;  // spin vs condvar pool barrier
+  bool trace = false;       // keep the merged trace string in the result
+  bool trace_hash = false;  // digest the merged trace instead of keeping it
+  sim::SimTime warmup = 500_ms;
+  sim::SimTime measure = 1500_ms;
   std::string app = "lu";
   workload::NpbClass cls = workload::NpbClass::kA;
   /// Workload-descriptor text; when non-empty the scenario is built from it
   /// instead of the NPB profile (descriptor.h).
   std::string descriptor;
 };
+
+std::uint64_t fnv1a(std::uint64_t h, const char* p, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= static_cast<unsigned char>(p[i]);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+/// Digests the merged trace in one pass: the full byte stream, and the
+/// stream with lines containing a pdes.* event (the coordinator's round
+/// markers — the round structure itself, which EOT legitimately changes)
+/// left out.  Line-by-line so the stripped digest equals the digest of the
+/// stripped text.
+void hash_trace(const std::string& t, RunResult& r) {
+  r.trace_bytes = t.size();
+  std::uint64_t full = 14695981039346656037ULL;
+  std::uint64_t stripped = 14695981039346656037ULL;
+  std::size_t pos = 0;
+  while (pos < t.size()) {
+    std::size_t eol = t.find('\n', pos);
+    if (eol == std::string::npos) eol = t.size() - 1;
+    const std::size_t len = eol - pos + 1;  // line including '\n'
+    full = fnv1a(full, t.data() + pos, len);
+    if (std::string_view(t.data() + pos, len).find("\tpdes.") ==
+        std::string_view::npos) {
+      stripped = fnv1a(stripped, t.data() + pos, len);
+    }
+    pos = eol + 1;
+  }
+  r.trace_full_hash = full;
+  r.trace_stripped_hash = stripped;
+}
 
 // All metric aggregation paths sum integer counters before the final
 // divisions, so equal event histories give bit-equal doubles — the
@@ -69,6 +118,8 @@ RunResult run_case(const RunCase& c) {
   // comparable (the legacy engine-order streams are a different sequence).
   virt::ModelParams params;
   params.per_node_streams = true;
+  params.pdes_eot_extension = c.eot;
+  params.pdes_spin_barrier = c.spin_barrier;
   ScenarioBuilder b;
   b.nodes(c.nodes)
       .approach(c.approach)
@@ -76,7 +127,7 @@ RunResult run_case(const RunCase& c) {
       .params(params)
       .shards(c.shards)
       .shard_threads(c.threads);
-  if (c.trace) b.tracing();
+  if (c.trace || c.trace_hash) b.tracing();
   auto sp = b.build();
   Scenario& s = *sp;
   std::string prefix = c.app + workload::npb_class_suffix(c.cls);
@@ -88,7 +139,7 @@ RunResult run_case(const RunCase& c) {
     cluster::build_type_a(s, c.app, c.cls);
   }
   s.start();
-  s.warmup_and_measure(500_ms, 1500_ms);
+  s.warmup_and_measure(c.warmup, c.measure);
 
   RunResult r;
   r.superstep = s.mean_superstep_with_prefix(prefix);
@@ -101,10 +152,19 @@ RunResult run_case(const RunCase& c) {
     r.fabric_posted = f->posted();
     r.fabric_delivered = f->delivered();
   }
-  if (c.trace) {
+  if (const sim::ShardGroup* g = s.shard_group()) {
+    r.rounds = g->stats().rounds;
+    r.horizon_extensions = g->stats().horizon_extensions;
+  }
+  if (c.trace || c.trace_hash) {
     std::ostringstream os;
     obs::write_compact(os, s.trace_sinks());
-    r.trace = os.str();
+    if (c.trace) {
+      r.trace = os.str();
+    } else {
+      const std::string merged = std::move(os).str();
+      hash_trace(merged, r);
+    }
   }
   return r;
 }
@@ -214,6 +274,63 @@ TEST(PdesInvarianceTest, WorkerThreadCountNeverChangesTheMergedTrace) {
     EXPECT_EQ(one.trace, many.trace)
         << "merged trace differs at threads=" << threads;
     EXPECT_EQ(one.fabric_posted, many.fabric_posted);
+  }
+}
+
+TEST(PdesInvarianceTest, EotExtensionAndBarrierChoiceNeverChangeTheOutcome) {
+  // The two protocol knobs x worker-thread counts must produce the same
+  // simulation: identical metrics and — modulo the pdes.* round events,
+  // which are the round structure itself — byte-identical merged traces.
+  // At equal EOT the comparison additionally holds on the *unstripped*
+  // trace (same rounds, different barrier / thread count).  Traces are
+  // compared by digest (hash_trace): a traced run's merged stream runs to
+  // GBs, and the cells only need equality, not diffs.  The cells cover
+  // every axis value rather than the full 2x2x3 product — each run is a
+  // multi-second cluster simulation, and any single protocol bug that
+  // depends on a *combination* of knobs would already differ from the
+  // reference in one of these.
+  RunCase base;
+  base.nodes = 4;
+  base.shards = 4;
+  base.trace_hash = true;
+  base.threads = 1;
+  base.warmup = 300_ms;
+  base.measure = 700_ms;
+  const RunResult ref = run_case(base);
+  ASSERT_GT(ref.trace_bytes, 0u);
+  ASSERT_GT(ref.horizon_extensions, 0u)
+      << "EOT never extended a horizon; the on/off comparison is vacuous";
+  const struct {
+    bool eot;
+    bool spin;
+    std::size_t threads;
+  } cells[] = {
+      {true, true, 2},    {true, false, 4},  // EOT on: spin + condvar pools
+      {false, true, 1},   {false, true, 2},  // EOT off: serial + spin pool
+      {false, false, 4},                     // EOT off: condvar pool
+  };
+  for (const auto& cell : cells) {
+    RunCase c = base;
+    c.eot = cell.eot;
+    c.spin_barrier = cell.spin;
+    c.threads = cell.threads;
+    const RunResult r = run_case(c);
+    const std::string what = std::string("eot=") + (cell.eot ? "on" : "off") +
+                             " barrier=" + (cell.spin ? "spin" : "condvar") +
+                             " threads=" + std::to_string(cell.threads);
+    expect_equal_metrics(ref, r, what);
+    EXPECT_EQ(r.fabric_posted, ref.fabric_posted) << what;
+    EXPECT_EQ(r.trace_stripped_hash, ref.trace_stripped_hash) << what;
+    if (cell.eot) {
+      // Same round structure too, so the whole stream matches.
+      EXPECT_EQ(r.trace_full_hash, ref.trace_full_hash) << what;
+      EXPECT_EQ(r.trace_bytes, ref.trace_bytes) << what;
+      EXPECT_EQ(r.rounds, ref.rounds) << what;
+    } else {
+      EXPECT_GT(r.rounds, ref.rounds)
+          << what << ": disabling EOT should cost rounds here, or the "
+                     "extension does nothing on this workload";
+    }
   }
 }
 
