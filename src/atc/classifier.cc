@@ -8,7 +8,11 @@ VmClassifier::VmClassifier(virt::Node& node,
       state_(node.vms().size()) {}
 
 void VmClassifier::on_period() {
+  if (state_.size() < node_->vms().size()) {
+    state_.resize(node_->vms().size());  // migration arrivals
+  }
   for (std::size_t i = 0; i < node_->vms().size(); ++i) {
+    if (node_->vms()[i] == nullptr) continue;  // migration tombstone
     const virt::Vm& vm = *node_->vms()[i];
     if (vm.is_dom0()) continue;
     const auto& snap = monitor_->last(vm.id());
@@ -30,7 +34,9 @@ void VmClassifier::on_period() {
 
 bool VmClassifier::is_parallel(const virt::Vm& vm) const {
   for (std::size_t i = 0; i < node_->vms().size(); ++i) {
-    if (node_->vms()[i].get() == &vm) return state_[i].parallel;
+    if (node_->vms()[i].get() == &vm) {
+      return i < state_.size() ? state_[i].parallel : false;
+    }
   }
   return false;
 }

@@ -52,10 +52,18 @@ void AtcController::on_period() {
   obs::TraceSink* sink = node_->platform().simulation().trace();
   const SimTime now = node_->platform().simulation().now();
 #endif
+  // Migration arrivals extend the node's VM slots (departures leave
+  // tombstones, so surviving indices are stable).
+  if (history_.size() < node_->vms().size()) {
+    history_.resize(node_->vms().size());
+    candidate_.resize(node_->vms().size(), 0);
+    wakeup_rate_.resize(node_->vms().size(), 0.0);
+  }
   // Step 1: Algorithm 1 per parallel VM.
   bool any_parallel = false;
   SimTime min_slice = cfg_.default_slice;
   for (std::size_t i = 0; i < node_->vms().size(); ++i) {
+    if (node_->vms()[i] == nullptr) continue;  // migration tombstone
     virt::Vm& vm = *node_->vms()[i];
     if (!treats_as_parallel(vm)) continue;
     PeriodHistory& h = history_[i];
@@ -87,7 +95,7 @@ void AtcController::on_period() {
   // Steps 2-3: uniform minimum for parallel VMs; admin/default otherwise.
   for (std::size_t i = 0; i < node_->vms().size(); ++i) {
     const auto& vm = node_->vms()[i];
-    if (vm->is_dom0()) continue;
+    if (vm == nullptr || vm->is_dom0()) continue;
 #if ATCSIM_TRACE_ENABLED
     const SimTime before = vm->time_slice();
 #endif
@@ -124,20 +132,24 @@ void AtcController::on_period() {
 
 SimTime AtcController::last_candidate(virt::VmId id) const {
   for (std::size_t i = 0; i < node_->vms().size(); ++i) {
-    if (node_->vms()[i]->id() == id) return candidate_[i];
+    if (node_->vms()[i] == nullptr) continue;  // migration tombstone
+    if (node_->vms()[i]->id() == id && i < candidate_.size()) {
+      return candidate_[i];
+    }
   }
   return 0;
 }
 
 std::vector<std::unique_ptr<AtcController>> install_atc(
-    virt::Platform& platform, sync::PeriodMonitor& monitor, AtcConfig cfg) {
+    virt::Platform& platform, sync::PeriodMonitor& monitor, AtcConfig cfg,
+    std::vector<sync::PeriodMonitor::Subscription>& subs) {
   std::vector<std::unique_ptr<AtcController>> controllers;
   controllers.reserve(platform.nodes().size());
   for (auto& node : platform.nodes()) {
     controllers.push_back(
         std::make_unique<AtcController>(*node, monitor, cfg));
     AtcController* c = controllers.back().get();
-    monitor.subscribe([c](std::uint64_t) { c->on_period(); });
+    subs.push_back(monitor.subscribe([c](std::uint64_t) { c->on_period(); }));
   }
   return controllers;
 }

@@ -49,9 +49,12 @@ class AtcController {
   std::unique_ptr<VmClassifier> classifier_;  // when auto_classify
 };
 
-/// Creates one controller per node and subscribes them all to the monitor.
-/// The returned vector owns the controllers; keep it alive for the run.
+/// Creates one controller per node and subscribes them all to the monitor,
+/// appending the RAII subscription handles to `subs` (they must stay alive
+/// as long as the controllers do — ApproachRuntime holds both).  The
+/// returned vector owns the controllers; keep it alive for the run.
 std::vector<std::unique_ptr<AtcController>> install_atc(
-    virt::Platform& platform, sync::PeriodMonitor& monitor, AtcConfig cfg);
+    virt::Platform& platform, sync::PeriodMonitor& monitor, AtcConfig cfg,
+    std::vector<sync::PeriodMonitor::Subscription>& subs);
 
 }  // namespace atcsim::atc

@@ -1,6 +1,11 @@
 #include "cache/xenoprof.h"
 
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+
+#include "virt/engine.h"
 
 namespace atcsim::cache {
 
@@ -11,36 +16,99 @@ XenoprofSampler::XenoprofSampler(virt::Platform& platform, SimTime interval)
   assert(interval_ > 0);
 }
 
+XenoprofSampler::~XenoprofSampler() { stop(); }
+
 void XenoprofSampler::start() {
   assert(!started_);
   started_ = true;
-  struct Rearm {
-    XenoprofSampler* self;
-    void operator()() const {
-      self->sample();
-      self->platform_->simulation().call_in(self->interval_, *this);
-    }
-  };
-  platform_->simulation().call_in(interval_, Rearm{this});
+  if (!timer_made_) {
+    timer_ = platform_->simulation().make_timer([this] {
+      sample();
+      platform_->simulation().arm_in(timer_, interval_);
+      if (register_effects_) {
+        platform_->engine().note_effect_at(platform_->simulation().now() +
+                                           interval_);
+      }
+    });
+    timer_made_ = true;
+  }
+  platform_->simulation().arm_in(timer_, interval_);
+  if (register_effects_) {
+    platform_->engine().note_effect_at(platform_->simulation().now() +
+                                       interval_);
+  }
+}
+
+void XenoprofSampler::stop() {
+  if (timer_made_) platform_->simulation().disarm(timer_);
 }
 
 std::uint64_t XenoprofSampler::total_now() const {
   std::uint64_t total = 0;
-  for (std::size_t id = 0; id < platform_->vm_count(); ++id) {
-    total += platform_->vm(virt::VmId{static_cast<std::int32_t>(id)})
-                 .totals()
-                 .llc_misses;
+  const std::size_t count = platform_->vm_count();
+  // A silent size_t -> int32_t truncation here once misattributed metrics
+  // under fuzzed configs; refuse loudly instead.
+  if (count > static_cast<std::size_t>(
+                  std::numeric_limits<std::int32_t>::max())) {
+    std::fprintf(stderr, "XenoprofSampler: vm count %zu overflows VmId\n",
+                 count);
+    std::abort();
+  }
+  for (std::size_t id = 0; id < count; ++id) {
+    const virt::Vm* vm =
+        platform_->vm_ptr(virt::VmId{static_cast<std::int32_t>(id)});
+    if (vm == nullptr) continue;  // expelled (migrated away)
+    total += vm->totals().llc_misses;
   }
   return total;
 }
 
 void XenoprofSampler::sample() {
-  samples_.push_back(
-      Sample{platform_->simulation().now(), total_now()});
+  const SimTime now = platform_->simulation().now();
+  samples_.push_back(Sample{now, total_now()});
+  // Windowed per-VM rates for the contention model.
+  if (windows_.size() < platform_->vm_count()) {
+    windows_.resize(platform_->vm_count());  // migration arrivals
+  }
+  const double seconds = sim::to_seconds(interval_);
+  for (std::size_t id = 0; id < windows_.size(); ++id) {
+    const virt::Vm* vm =
+        platform_->vm_ptr(virt::VmId{static_cast<std::int32_t>(id)});
+    if (vm == nullptr) {
+      windows_[id] = VmWindow{};  // tombstone: state restarts if reused
+      continue;
+    }
+    VmWindow& w = windows_[id];
+    const std::uint64_t total = vm->totals().llc_misses;
+    if (!w.seen) {
+      w.seen = true;  // prime; no rate until a full window elapsed
+    } else {
+      const double delta = static_cast<double>(total - w.last_total);
+      w.rate = 0.5 * w.rate + 0.5 * (delta / seconds);
+    }
+    w.last_total = total;
+  }
 }
 
 std::uint64_t XenoprofSampler::vm_misses(virt::VmId id) const {
-  return platform_->vm(id).totals().llc_misses;
+  const virt::Vm* vm = platform_->vm_ptr(id);
+  assert(vm != nullptr && "vm_misses: unknown or expelled VmId");
+  return vm == nullptr ? 0 : vm->totals().llc_misses;
+}
+
+double XenoprofSampler::vm_miss_rate(const virt::Vm& vm) const {
+  const std::size_t i = static_cast<std::size_t>(vm.id().index());
+  return i < windows_.size() ? windows_[i].rate : 0.0;
+}
+
+double XenoprofSampler::node_pressure(virt::Node& node) const {
+  double pressure = 0.0;
+  for (const auto& vm : node.vms()) {
+    if (vm == nullptr || vm->is_dom0()) continue;
+    pressure += vm_miss_rate(*vm);
+  }
+  assert(node.llc_domains() > 0);
+  return pressure / static_cast<double>(node.llc_domains());
 }
 
 double XenoprofSampler::miss_rate_per_second() const {

@@ -3,7 +3,19 @@
 // The paper measures cache flushes with Xenoprof [12].  In the simulator the
 // engine charges misses when a VCPU is dispatched onto a polluted core (see
 // ModelParams::llc_misses_per_refill); this sampler turns the per-VM counters
-// into the time series / aggregate miss rates that Fig. 8 reports.
+// into the time series / aggregate miss rates that Fig. 8 reports, and into
+// the windowed per-VM rates + per-host LLC pressure scores that drive the
+// cluster rebalancer (Approach::kPM).
+//
+// Lifetime: the sampling timer is a cancellable Simulation timer.  stop()
+// (and the destructor) disarm it, so a sampler may be destroyed before its
+// simulation, and a drained shard's next_event_time is not pinned forever by
+// an eternal re-arm (which would also defeat the PDES EOT horizon
+// extension).  When the sampler feeds a controller that can act on the
+// network (the rebalancer migrating a VM), enable_effect_registration()
+// makes each armed firing visible to Engine::earliest_effect_time via the
+// same effect plumbing workload timers use, keeping the shard output bound
+// sound without touching it in runs where the sampler is passive.
 #pragma once
 
 #include <cstdint>
@@ -15,10 +27,22 @@ namespace atcsim::cache {
 
 class XenoprofSampler {
  public:
-  /// Samples every `interval`; call before the simulation runs.
+  /// Samples every `interval`; call start() before the simulation runs.
   XenoprofSampler(virt::Platform& platform, sim::SimTime interval);
+  ~XenoprofSampler();
+
+  XenoprofSampler(const XenoprofSampler&) = delete;
+  XenoprofSampler& operator=(const XenoprofSampler&) = delete;
 
   void start();
+
+  /// Disarms the sampling timer; idempotent.  Safe before/without start().
+  void stop();
+
+  /// Registers each armed firing with Engine::note_effect_at.  Required
+  /// when a subscriber of this sampler's data may act on the network at the
+  /// sampling instant (cluster rebalancer); harmless otherwise.
+  void enable_effect_registration() { register_effects_ = true; }
 
   struct Sample {
     sim::SimTime at;
@@ -28,6 +52,17 @@ class XenoprofSampler {
 
   /// Cumulative LLC misses for one VM.
   std::uint64_t vm_misses(virt::VmId id) const;
+
+  /// Smoothed LLC misses/second of `vm` over recent sampling windows
+  /// (EWMA, alpha 1/2).  Zero until the VM has been seen for a full
+  /// window; restarts from zero when a VM re-enters under a new local id
+  /// after migrating (its cache is cold anyway).
+  double vm_miss_rate(const virt::Vm& vm) const;
+
+  /// LLC pressure score of a host: the sum of its resident guests'
+  /// windowed miss rates, normalized by the host's LLC domain count (two
+  /// sockets absorb twice the misses before thrashing).
+  double node_pressure(virt::Node& node) const;
 
   /// Platform-wide misses per second over the whole run so far.
   double miss_rate_per_second() const;
@@ -39,12 +74,23 @@ class XenoprofSampler {
   void sample();
   std::uint64_t total_now() const;
 
+  /// Windowed per-VM rate state, indexed by platform-local VmId.
+  struct VmWindow {
+    std::uint64_t last_total = 0;
+    double rate = 0.0;   ///< EWMA misses/second
+    bool seen = false;   ///< last_total valid (first sight primes it)
+  };
+
   virt::Platform* platform_;
   sim::SimTime interval_;
   std::vector<Sample> samples_;
+  std::vector<VmWindow> windows_;
   std::uint64_t baseline_misses_ = 0;
   sim::SimTime baseline_time_ = 0;
   bool started_ = false;
+  bool register_effects_ = false;
+  sim::TimerId timer_{};
+  bool timer_made_ = false;
 };
 
 }  // namespace atcsim::cache

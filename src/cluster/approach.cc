@@ -1,10 +1,23 @@
 #include "cluster/approach.h"
 
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+#include "cluster/control/rebalancer.h"
 #include "sched/coschedule.h"
 #include "sched/credit.h"
 #include "sched/vslicer.h"
 
 namespace atcsim::cluster {
+
+// Out-of-line: ApproachRuntime holds a unique_ptr to the forward-declared
+// rebalancer, so its special members need the complete type.
+ApproachRuntime::ApproachRuntime() = default;
+ApproachRuntime::ApproachRuntime(ApproachRuntime&&) noexcept = default;
+ApproachRuntime& ApproachRuntime::operator=(ApproachRuntime&&) noexcept =
+    default;
+ApproachRuntime::~ApproachRuntime() = default;
 
 std::string approach_name(Approach a) {
   switch (a) {
@@ -20,14 +33,22 @@ std::string approach_name(Approach a) {
       return "VS";
     case Approach::kATC:
       return "ATC";
+    case Approach::kPM:
+      return "PM";
+    case Approach::kATCPM:
+      return "ATC+PM";
   }
-  return "?";
+  // Out-of-range values come from corrupted or fuzzed configs; report the
+  // raw value and fail loudly instead of silently labelling results "?".
+  std::fprintf(stderr, "approach_name: invalid Approach value %d\n",
+               static_cast<int>(a));
+  std::abort();
 }
 
 const std::vector<Approach>& all_approaches() {
-  static const std::vector<Approach> all = {Approach::kCR,  Approach::kCS,
-                                            Approach::kBS,  Approach::kDSS,
-                                            Approach::kVS,  Approach::kATC};
+  static const std::vector<Approach> all = {
+      Approach::kCR, Approach::kCS,  Approach::kBS,  Approach::kDSS,
+      Approach::kVS, Approach::kATC, Approach::kPM,  Approach::kATCPM};
   return all;
 }
 
@@ -40,6 +61,8 @@ ApproachRuntime install_approach(virt::Platform& platform,
       case Approach::kCR:
       case Approach::kATC:
       case Approach::kDSS:
+      case Approach::kPM:
+      case Approach::kATCPM:
         platform.set_scheduler(node->id(),
                                std::make_unique<sched::CreditScheduler>());
         break;
@@ -54,9 +77,10 @@ ApproachRuntime install_approach(virt::Platform& platform,
         auto cs = std::make_unique<sched::CoScheduler>();
         sched::CoScheduler* raw = cs.get();
         platform.set_scheduler(node->id(), std::move(cs));
-        monitor.subscribe([raw, &monitor](std::uint64_t) {
-          raw->update_gang_flags(monitor);
-        });
+        runtime.subscriptions.push_back(
+            monitor.subscribe([raw, &monitor](std::uint64_t) {
+              raw->update_gang_flags(monitor);
+            }));
         break;
       }
       case Approach::kVS:
@@ -68,11 +92,24 @@ ApproachRuntime install_approach(virt::Platform& platform,
       runtime.dss_controllers.push_back(
           std::make_unique<sched::DssController>(*node, monitor));
       sched::DssController* raw = runtime.dss_controllers.back().get();
-      monitor.subscribe([raw](std::uint64_t) { raw->on_period(); });
+      runtime.subscriptions.push_back(
+          monitor.subscribe([raw](std::uint64_t) { raw->on_period(); }));
     }
   }
-  if (a == Approach::kATC) {
-    runtime.atc_controllers = atc::install_atc(platform, monitor, atc_cfg);
+  if (a == Approach::kATC || a == Approach::kATCPM) {
+    runtime.atc_controllers =
+        atc::install_atc(platform, monitor, atc_cfg, runtime.subscriptions);
+  }
+  if (a == Approach::kPM || a == Approach::kATCPM) {
+    // The sampler's windowed rates drive the rebalancer, which migrates —
+    // a network act at the sampling instant — so each armed firing must be
+    // visible to the shard output bound.
+    runtime.sampler = std::make_unique<cache::XenoprofSampler>(
+        platform, platform.params().accounting_period);
+    runtime.sampler->enable_effect_registration();
+    runtime.sampler->start();
+    // The rebalancer itself is attached by Scenario::start(), which owns
+    // the migration context (location directory, fabric, shard map).
   }
   return runtime;
 }

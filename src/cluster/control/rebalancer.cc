@@ -1,0 +1,75 @@
+#include "cluster/control/rebalancer.h"
+
+#include <limits>
+
+#include "virt/engine.h"
+
+namespace atcsim::cluster::control {
+
+ClusterRebalancer::ClusterRebalancer(virt::Platform& platform,
+                                     sync::PeriodMonitor& monitor,
+                                     cache::XenoprofSampler& sampler,
+                                     Migrator& migrator, Options opts)
+    : platform_(&platform), sampler_(&sampler), migrator_(&migrator),
+      opts_(opts) {
+  // The first period boundary can already migrate (a network act); make it
+  // visible to the shard output bound before the monitor ever fires.
+  platform_->engine().note_effect_at(platform_->simulation().now() +
+                                     platform_->params().accounting_period);
+  sub_ = monitor.subscribe([this](std::uint64_t) { on_period(); });
+}
+
+void ClusterRebalancer::on_period() {
+  ++periods_;
+  // Rolling effect registration: the NEXT boundary may migrate too.
+  virt::Engine& engine = platform_->engine();
+  engine.note_effect_at(platform_->simulation().now() +
+                        platform_->params().accounting_period);
+
+  if (cooldown_left_ > 0) {
+    --cooldown_left_;
+    return;
+  }
+
+  // Hottest / coldest host of this cell (= this shard's platform).
+  virt::Node* hot = nullptr;
+  virt::Node* cold = nullptr;
+  double hot_p = -1.0;
+  double cold_p = std::numeric_limits<double>::infinity();
+  for (auto& node : platform_->nodes()) {
+    const double p = sampler_->node_pressure(*node);
+    if (p > hot_p) {
+      hot_p = p;
+      hot = node.get();
+    }
+    if (p < cold_p) {
+      cold_p = p;
+      cold = node.get();
+    }
+  }
+  if (hot == nullptr || cold == nullptr || hot == cold) return;
+  if (hot_p - cold_p < opts_.min_pressure_gap) return;
+
+  // Busiest migratable guest on the hot host; ties go to the lower global
+  // id so the decision sequence is independent of node-list layout.
+  virt::Vm* victim = nullptr;
+  double victim_rate = -1.0;
+  for (auto& vm : hot->vms()) {
+    if (vm == nullptr || vm->is_dom0()) continue;
+    if (!migrator_->can_migrate(*vm)) continue;
+    const double r = sampler_->vm_miss_rate(*vm);
+    if (r > victim_rate ||
+        (r == victim_rate && victim != nullptr &&
+         vm->global_id() < victim->global_id())) {
+      victim_rate = r;
+      victim = vm.get();
+    }
+  }
+  if (victim == nullptr || victim_rate <= 0.0) return;
+
+  migrator_->migrate(*victim, platform_->global_node_id(*cold));
+  ++migrations_;
+  cooldown_left_ = opts_.cooldown_periods;
+}
+
+}  // namespace atcsim::cluster::control

@@ -128,6 +128,31 @@ Scenario::Scenario(ScenarioConfig config) : config_(config) {
       fabric_->bind(k, *stacks_[static_cast<std::size_t>(k)]->network);
     }
   }
+
+  // Cluster control plane: every shard carries a full directory replica and
+  // a migration manager.  Unsharded runs get them too (the directory is
+  // behaviorally inert for static VMs, and scripted migrations then work at
+  // any shard count).
+  std::vector<std::int32_t> node_shard;
+  node_shard.reserve(static_cast<std::size_t>(config_.nodes));
+  for (int n = 0; n < config_.nodes; ++n) {
+    node_shard.push_back(static_cast<std::int32_t>(shard_of_node(n)));
+  }
+  for (int k = 0; k < shards; ++k) {
+    auto& stack = *stacks_[static_cast<std::size_t>(k)];
+    stack.directory = std::make_unique<virt::LocationDirectory>();
+    stack.network->set_directory(stack.directory.get());
+    control::Migrator::Context mc;
+    mc.platform = stack.platform.get();
+    mc.network = stack.network.get();
+    mc.directory = stack.directory.get();
+    mc.fabric = fabric_.get();
+    mc.shard = k;
+    mc.total_shards = shards;
+    mc.node_shard = node_shard;
+    stack.migrator = std::make_unique<control::Migrator>(std::move(mc));
+    stack.migrator->install();
+  }
 }
 
 Scenario::~Scenario() = default;
@@ -167,6 +192,15 @@ net::VirtualNetwork& Scenario::net_of(virt::Vm& vm) {
   return *net;
 }
 
+void Scenario::register_vm(virt::Vm& vm, int node) {
+  const std::int64_t gid = next_gid_++;
+  vm.set_global_id(gid);
+  const auto shard = static_cast<std::int32_t>(shard_of_node(node));
+  for (auto& stack : stacks_) {
+    stack->directory->register_vm(gid, shard, node);
+  }
+}
+
 std::vector<virt::Vm*> Scenario::create_cluster_vms(
     const std::string& name, const std::vector<int>& node_for_vm) {
   std::vector<virt::Vm*> vms;
@@ -177,6 +211,7 @@ std::vector<virt::Vm*> Scenario::create_cluster_vms(
         name + "-vm" + std::to_string(i), config_.vcpus_per_vm);
     // Parallel VMs are network-driven: vSlicer's admin marks them LS.
     vm.set_latency_sensitive(true);
+    register_vm(vm, node_for_vm[i]);
     vms.push_back(&vm);
   }
   return vms;
@@ -250,6 +285,7 @@ virt::Vm& Scenario::add_cpu_vm(int node,
   virt::Vm& vm = platform_of_node(node).create_vm(
       local_node_id(node), virt::VmType::kNonParallel, key,
       config_.vcpus_per_vm);
+  register_vm(vm, node);
   workloads_.push_back(std::make_unique<workload::CpuBoundWorkload>(
       cfg, app_rng().split(std::hash<std::string>{}(key)),
       &metrics_->rate(key)));
@@ -263,6 +299,7 @@ virt::Vm& Scenario::add_loop_vm(int node, const workload::Descriptor& desc,
   virt::Vm& vm = platform_of_node(node).create_vm(
       local_node_id(node), virt::VmType::kNonParallel, key,
       config_.vcpus_per_vm);
+  register_vm(vm, node);
   workloads_.push_back(std::make_unique<workload::LoopWorkload>(
       net_of(vm), vm, desc, app_rng().split(std::hash<std::string>{}(key)),
       &metrics_->rate(key)));
@@ -275,6 +312,7 @@ virt::Vm& Scenario::add_disk_vm(int node, const std::string& key) {
   virt::Vm& vm = platform_of_node(node).create_vm(
       local_node_id(node), virt::VmType::kNonParallel, key,
       config_.vcpus_per_vm);
+  register_vm(vm, node);
   workloads_.push_back(std::make_unique<workload::DiskWorkload>(
       net_of(vm), vm, workload::DiskWorkload::Config{},
       &metrics_->rate(key)));
@@ -293,6 +331,8 @@ virt::Vm& Scenario::add_ping_pair(int node_a, int node_b,
       config_.vcpus_per_vm);
   pinger.set_latency_sensitive(true);
   peer.set_latency_sensitive(true);
+  register_vm(pinger, node_a);
+  register_vm(peer, node_b);
   workloads_.push_back(std::make_unique<workload::PingWorkload>(
       net_of(pinger), pinger, peer, workload::PingWorkload::Config{},
       &metrics_->latency(key)));
@@ -310,6 +350,7 @@ virt::Vm& Scenario::add_web_vm(int node, double requests_per_second,
       local_node_id(node), virt::VmType::kNonParallel, key,
       config_.vcpus_per_vm);
   vm.set_latency_sensitive(true);
+  register_vm(vm, node);
   auto server = std::make_unique<workload::WebServerWorkload>(
       net_of(vm), vm, workload::WebServerWorkload::Config{},
       &metrics_->latency(key),
@@ -363,6 +404,14 @@ void Scenario::start() {
   for (auto& stack : stacks_) {
     stack->runtime = install_approach(*stack->platform, *stack->monitor,
                                       config_.approach, config_.atc);
+    if (stack->runtime.sampler != nullptr) {
+      // kPM / kATCPM: attach the contention-aware rebalancer now that the
+      // migration context exists.  Policy is cell-local — each shard
+      // balances its own node block.
+      stack->runtime.rebalancer = std::make_unique<control::ClusterRebalancer>(
+          *stack->platform, *stack->monitor, *stack->runtime.sampler,
+          *stack->migrator);
+    }
     stack->monitor->start();
   }
   for (auto& client : clients_) client->start();
@@ -408,6 +457,30 @@ void Scenario::run_for(SimTime duration) {
   group_->run_until(stacks_[0]->simulation.now() + duration);
 }
 
+void Scenario::schedule_migration(virt::Vm& vm, SimTime at, int dest_node) {
+  assert(dest_node >= 0 && dest_node < config_.nodes);
+  assert(vm.global_id() >= 0 && "schedule_migration needs a scenario VM");
+  const int src_node =
+      vm.node().platform().global_node_id(vm.node());
+  const int k = shard_of_node(src_node);
+  ShardStack& stack = this->stack(k);
+  const std::int64_t gid = vm.global_id();
+  // The migration acts on the network at `at`; the shard output bound must
+  // see it from the moment it is scheduled (HttperfClient::arrival pattern).
+  stack.platform->engine().note_effect_at(at);
+  virt::Vm* vmp = &vm;
+  control::Migrator* migrator = stack.migrator.get();
+  virt::LocationDirectory* directory = stack.directory.get();
+  stack.simulation.call_at(at, [vmp, migrator, directory, gid, k, dest_node] {
+    // Skip silently if the VM moved off this shard in the meantime, is in
+    // transit, became unmigratable, or already sits on the target.
+    const virt::VmLocation& loc = directory->at(gid);
+    if (loc.shard != k || loc.node_global == dest_node) return;
+    if (!migrator->can_migrate(*vmp)) return;
+    migrator->migrate(*vmp, dest_node);
+  });
+}
+
 void Scenario::warmup_and_measure(SimTime warmup, SimTime measure) {
   if (!started_) start();
   run_for(warmup);
@@ -420,9 +493,11 @@ void Scenario::reset_platform_stats() {
   for (auto& stack : stacks_) {
     virt::Platform& platform = *stack->platform;
     for (std::size_t id = 0; id < platform.vm_count(); ++id) {
-      virt::Vm& vm = platform.vm(virt::VmId{static_cast<std::int32_t>(id)});
-      vm.totals() = virt::Vm::Totals{};
-      for (auto& v : vm.vcpus()) v->mutable_totals() = virt::Vcpu::Totals{};
+      // vm_ptr: migrated-away VMs leave tombstone ids behind.
+      virt::Vm* vm = platform.vm_ptr(virt::VmId{static_cast<std::int32_t>(id)});
+      if (vm == nullptr) continue;
+      vm->totals() = virt::Vm::Totals{};
+      for (auto& v : vm->vcpus()) v->mutable_totals() = virt::Vcpu::Totals{};
     }
   }
   llc_baseline_ = 0;  // totals were zeroed; baseline resets with them
@@ -467,11 +542,11 @@ double Scenario::avg_parallel_spin_latency() {
   for (auto& stack : stacks_) {
     virt::Platform& platform = *stack->platform;
     for (std::size_t id = 0; id < platform.vm_count(); ++id) {
-      const virt::Vm& vm =
-          platform.vm(virt::VmId{static_cast<std::int32_t>(id)});
-      if (!vm.is_parallel()) continue;
-      wall += vm.totals().spin_wall;
-      episodes += vm.totals().spin_episodes;
+      const virt::Vm* vm =
+          platform.vm_ptr(virt::VmId{static_cast<std::int32_t>(id)});
+      if (vm == nullptr || !vm->is_parallel()) continue;
+      wall += vm->totals().spin_wall;
+      episodes += vm->totals().spin_episodes;
     }
   }
   if (episodes == 0) return 0.0;
@@ -483,9 +558,9 @@ double Scenario::llc_miss_rate() {
   for (auto& stack : stacks_) {
     virt::Platform& platform = *stack->platform;
     for (std::size_t id = 0; id < platform.vm_count(); ++id) {
-      misses += platform.vm(virt::VmId{static_cast<std::int32_t>(id)})
-                    .totals()
-                    .llc_misses;
+      const virt::Vm* vm =
+          platform.vm_ptr(virt::VmId{static_cast<std::int32_t>(id)});
+      if (vm != nullptr) misses += vm->totals().llc_misses;
     }
   }
   const SimTime span = stacks_[0]->simulation.now() - stats_reset_at_;

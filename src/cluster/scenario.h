@@ -22,12 +22,15 @@
 
 #include "atc/config.h"
 #include "cluster/approach.h"
+#include "cluster/control/migrator.h"
+#include "cluster/control/rebalancer.h"
 #include "metrics/recorders.h"
 #include "net/fabric.h"
 #include "net/network.h"
 #include "obs/invariants.h"
 #include "simcore/shard.h"
 #include "sync/period_monitor.h"
+#include "virt/migration.h"
 #include "virt/platform.h"
 #include "workload/apps.h"
 #include "workload/bsp_app.h"
@@ -130,6 +133,14 @@ class Scenario {
 
   void run_for(sim::SimTime duration);
 
+  /// Schedules a scripted live migration of `vm` (created by this scenario)
+  /// to global node `dest_node` at simulated time `at`.  The move is a
+  /// no-op if the VM is not migratable at that instant (in transit, I/O
+  /// pinned, or hosted by a non-migrating scheduler) or has already moved
+  /// off the shard that owned it at scheduling time.  Call any time before
+  /// the simulation passes `at`.
+  void schedule_migration(virt::Vm& vm, sim::SimTime at, int dest_node);
+
   /// Runs `warmup` (controller convergence), resets all metrics and
   /// platform counters, then runs `measure`.
   void warmup_and_measure(sim::SimTime warmup, sim::SimTime measure);
@@ -159,6 +170,14 @@ class Scenario {
 
   /// Cross-shard fabric; nullptr in unsharded runs.
   const net::ShardFabric* fabric() const { return fabric_.get(); }
+  /// Shard `shard`'s migration manager (always present).
+  control::Migrator& migrator(int shard = 0) {
+    return *stack(shard).migrator;
+  }
+  /// Shard `shard`'s VM location directory (always present).
+  const virt::LocationDirectory& directory(int shard = 0) {
+    return *stack(shard).directory;
+  }
   /// Round synchronizer; nullptr until start(), and in unsharded runs.
   const sim::ShardGroup* shard_group() const { return group_.get(); }
 
@@ -192,6 +211,9 @@ class Scenario {
     std::unique_ptr<sync::PeriodMonitor> monitor;
     std::unique_ptr<obs::TraceSink> trace_sink;
     std::unique_ptr<obs::InvariantChecker> invariants;
+    /// Every shard's replica maps every guest gid (cluster control plane).
+    std::unique_ptr<virt::LocationDirectory> directory;
+    std::unique_ptr<control::Migrator> migrator;
     ApproachRuntime runtime;
     int first_node = 0;  ///< global id of this shard's first node
     int node_count = 0;
@@ -212,6 +234,9 @@ class Scenario {
   /// sequence otherwise.
   sim::Rng& app_rng();
   static net::VirtualNetwork& net_of(virt::Vm& vm);
+  /// Assigns the next global id to `vm` (hosted on global node `node`) and
+  /// registers it in every shard's location directory.
+  void register_vm(virt::Vm& vm, int node);
 
   ScenarioConfig config_;
   std::vector<std::unique_ptr<ShardStack>> stacks_;
@@ -226,6 +251,7 @@ class Scenario {
   std::vector<std::string> bsp_keys_;
   sim::SimTime stats_reset_at_ = 0;
   std::uint64_t llc_baseline_ = 0;
+  std::int64_t next_gid_ = 0;
   bool started_ = false;
 };
 

@@ -54,10 +54,37 @@ int ShardFabric::shard_of(const virt::Platform* platform) const {
 void ShardFabric::post(int src_shard, virt::Vm& dst, sim::SimTime due,
                        std::uint64_t bytes, sim::InlineCallback done) {
   const int dst_shard = shard_of(&dst.node().platform());
+  post_packet(src_shard, dst_shard, dst, /*dst_node_global=*/-1, due, bytes,
+              std::move(done));
+}
+
+void ShardFabric::post_packet(int src_shard, int dst_shard, virt::Vm& dst,
+                              std::int32_t dst_node_global, sim::SimTime due,
+                              std::uint64_t bytes, sim::InlineCallback done) {
   assert(dst_shard != src_shard && "local packets never enter the fabric");
   Box& b = box(src_shard, dst_shard);
-  b.staged.push_back(RemotePacket{due, &dst, bytes, src_shard, b.next_seq++,
-                                  std::move(done)});
+  RemotePacket pkt;
+  pkt.due = due;
+  pkt.dst = &dst;
+  pkt.bytes = bytes;
+  pkt.src = src_shard;
+  pkt.seq = b.next_seq++;
+  pkt.done = std::move(done);
+  pkt.dst_node_global = dst_node_global;
+  b.staged.push_back(std::move(pkt));
+  b.staged_min = std::min(b.staged_min, due);
+  ++posted_[static_cast<std::size_t>(src_shard)];
+}
+
+void ShardFabric::post_control(int src_shard, int dst_shard,
+                               RemotePacket&& rec) {
+  assert(dst_shard != src_shard && "control records are cross-shard only");
+  assert(rec.kind != Kind::kPacket && "use post_packet for the data plane");
+  Box& b = box(src_shard, dst_shard);
+  rec.src = src_shard;
+  rec.seq = b.next_seq++;
+  const sim::SimTime due = rec.due;
+  b.staged.push_back(std::move(rec));
   b.staged_min = std::min(b.staged_min, due);
   ++posted_[static_cast<std::size_t>(src_shard)];
 }

@@ -48,6 +48,16 @@ class VirtualNetwork;
 
 class ShardFabric {
  public:
+  /// Record kinds carried over the fabric.  Packets are the data plane;
+  /// VM transfers and location updates are the migration control plane and
+  /// share the per-channel FIFO seq with packets, so the canonical
+  /// (due, src, seq) delivery order totally orders control against data.
+  enum class Kind : std::uint8_t {
+    kPacket,          ///< a guest packet due at the destination NIC
+    kVmTransfer,      ///< a migrating VM (payload = virt::MigrationBundle*)
+    kLocationUpdate,  ///< "guest vm_gid lives at (a_shard, a_node) from due"
+  };
+
   /// A packet in flight between shards: it has already paid the source-side
   /// guest/dom0/NIC costs and is due at the destination NIC at `due`
   /// (>= send time + wire latency, which is the PDES lookahead).  `src` and
@@ -59,6 +69,18 @@ class ShardFabric {
     std::int32_t src = 0;     ///< source shard
     std::uint64_t seq = 0;    ///< FIFO index within the (src, dst) channel
     sim::InlineCallback done;
+    Kind kind = Kind::kPacket;
+    /// kPacket: destination *global* node id resolved from the location
+    /// directory at post time (-1: legacy, derive from dst->node()).
+    /// kLocationUpdate: the guest's new global node id.
+    std::int32_t dst_node_global = -1;
+    /// kVmTransfer / kLocationUpdate: the migrating guest's global id.
+    std::int64_t vm_gid = -1;
+    /// kLocationUpdate: the guest's new shard.
+    std::int32_t new_shard = -1;
+    /// kVmTransfer: heap virt::MigrationBundle*, ownership transfers to the
+    /// destination shard's control handler.
+    void* payload = nullptr;
   };
 
   ShardFabric(int shards, std::size_t mailbox_slots);
@@ -73,9 +95,23 @@ class ShardFabric {
 
   /// Posts a packet from `src_shard` to the shard owning `dst`'s platform,
   /// into the (src, dst) staging box.  Caller is the source shard's worker,
-  /// inside its fused phase.
+  /// inside its fused phase.  Legacy (pre-directory) routing: the
+  /// destination shard and node are derived from dst's *current* platform,
+  /// which is only safe while placement is static.
   void post(int src_shard, virt::Vm& dst, sim::SimTime due,
             std::uint64_t bytes, sim::InlineCallback done);
+
+  /// Directory-routed packet post: destination shard and global node were
+  /// resolved by the caller from its LocationDirectory, so this never
+  /// touches dst's (possibly mid-migration) platform pointers.
+  void post_packet(int src_shard, int dst_shard, virt::Vm& dst,
+                   std::int32_t dst_node_global, sim::SimTime due,
+                   std::uint64_t bytes, sim::InlineCallback done);
+
+  /// Migration control plane: posts a kVmTransfer / kLocationUpdate record
+  /// (fields beyond due/src/seq already filled in by the caller) to
+  /// `dst_shard`'s box.  Shares the channel seq with packets.
+  void post_control(int src_shard, int dst_shard, RemotePacket&& rec);
 
   /// Moves every packet staged during the last phase into its destination's
   /// ready queue and restores the queues' canonical (due, src, seq) order.

@@ -222,7 +222,24 @@ void VirtualNetwork::tx_effect(PacketRef r) {
     // exactly the lookahead the round synchronizer relies on.
     virt::Vm* dst = p.dst;
     const std::uint64_t bytes = p.bytes;
-    fabric_->post(shard_, *dst, arrive, bytes, release(r));
+    if (directory_ != nullptr && dst->global_id() >= 0) {
+      // Re-resolve at post time: the guest may have migrated while the tx
+      // job sat in the dom0 ring.
+      const virt::VmLocation& loc = directory_->at(dst->global_id());
+      if (loc.shard == shard_) {
+        // It moved *onto* this shard — the wire hop stays local after all,
+        // at the same arrival time a fabric round trip would have produced.
+        p.dst_node = loc.node_global - node_id_offset();
+        assert(pending_remote_tx_ > 0);
+        --pending_remote_tx_;
+        simulation().call_at(arrive, [this, r] { rx_arrive(r); });
+        return;
+      }
+      fabric_->post_packet(shard_, loc.shard, *dst, loc.node_global, arrive,
+                           bytes, release(r));
+    } else {
+      fabric_->post(shard_, *dst, arrive, bytes, release(r));
+    }
     assert(pending_remote_tx_ > 0);
     --pending_remote_tx_;
     return;
@@ -237,8 +254,21 @@ void VirtualNetwork::receive_remote(ShardFabric::RemotePacket& pkt) {
   // runs local events up to the due time before delivering the batch).
   assert(pkt.due >= simulation().now() &&
          "cross-shard packet due in the past: lookahead violated");
-  const PacketRef r = acquire(pkt.bytes, pkt.dst, -1,
-                              pkt.dst->node().index(), std::move(pkt.done));
+  if (pkt.kind != ShardFabric::Kind::kPacket) {
+    // Migration control plane: hand the record to the shard's Migrator.
+    // Control records ride the same canonical (due, src, seq) order as
+    // packets, so the handoff point is deterministic.
+    assert(control_handler_ && "control record arrived with no handler");
+    control_handler_(pkt);
+    return;
+  }
+  // Directory-routed packets carry the resolved global node; legacy posts
+  // (dst_node_global == -1) fall back to the VM's current placement.
+  const std::int32_t dst_node =
+      pkt.dst_node_global >= 0 ? pkt.dst_node_global - node_id_offset()
+                               : pkt.dst->node().index();
+  const PacketRef r =
+      acquire(pkt.bytes, pkt.dst, -1, dst_node, std::move(pkt.done));
   simulation().call_at(pkt.due, [this, r] { rx_arrive(r); });
 }
 
@@ -252,19 +282,85 @@ void VirtualNetwork::rx_arrive(PacketRef r) {
 }
 
 void VirtualNetwork::enqueue_rx(PacketRef r) {
+  // Keyed by the node the packet was *addressed* to (p.dst_node), not the
+  // destination VM's current node: the guest may have migrated while the
+  // packet was on the wire, in which case this node's dom0 forwards it.
   Packet& p = desc(r);
-  ATCSIM_TRACE(simulation().trace(),
-               net_event(simulation().now(), obs::ev::kGuestRx,
-                         p.dst->node().id().value, p.dst,
-                         static_cast<std::int64_t>(p.bytes)));
-  backend_of(*p.dst).enqueue(
+  ATCSIM_TRACE(
+      simulation().trace(),
+      net_event(simulation().now(), obs::ev::kGuestRx,
+                platform_->nodes()[static_cast<std::size_t>(p.dst_node)]
+                    ->id()
+                    .value,
+                p.dst, static_cast<std::int64_t>(p.bytes)));
+  nodes_[static_cast<std::size_t>(p.dst_node)].backend->enqueue(
       Dom0Backend::Job{packet_cpu_cost(p.bytes), [this, r] { deliver(r); }});
 }
 
 void VirtualNetwork::deliver(PacketRef r) {
-  virt::Vm* dst = desc(r).dst;
+  Packet& p = desc(r);
+  if (directory_ != nullptr && p.dst->global_id() >= 0) {
+    const virt::VmLocation& loc = directory_->at(p.dst->global_id());
+    const bool in_transit = simulation().now() < loc.moving_until;
+    const std::int32_t target_node =
+        in_transit ? loc.dest_node_global : loc.node_global;
+    const std::int32_t here = node_id_offset() + p.dst_node;
+    if (target_node != here) {
+      // The guest migrated away after this packet was addressed.  This
+      // node's dom0 pays one more netback job to re-route it; the job also
+      // backs the shard's earliest-output-time promise — counting it as a
+      // pending remote tx pins EOT to the next event time until the re-post
+      // lands, so a cross-shard forward can never post earlier than the
+      // horizon other shards were told to trust (DESIGN.md §12).
+      ++pending_remote_tx_;
+      nodes_[static_cast<std::size_t>(p.dst_node)].backend->enqueue(
+          Dom0Backend::Job{packet_cpu_cost(p.bytes),
+                           [this, r] { forward_effect(r); }});
+      return;
+    }
+  }
+  virt::Vm* dst = p.dst;
   auto cb = release(r);
   engine().deposit(*dst, std::move(cb));
+}
+
+void VirtualNetwork::forward_effect(PacketRef r) {
+  Packet& p = desc(r);
+  assert(directory_ != nullptr && p.dst->global_id() >= 0);
+  const virt::VmLocation& loc = directory_->at(p.dst->global_id());
+  const sim::SimTime now = simulation().now();
+  const bool in_transit = now < loc.moving_until;
+  const std::int32_t target_shard = in_transit ? loc.dest_shard : loc.shard;
+  const std::int32_t target_node =
+      in_transit ? loc.dest_node_global : loc.node_global;
+  // A forward chasing a guest still in transit arrives strictly after the
+  // migration settles; a settled guest is one wire hop away.
+  const sim::SimTime arrive =
+      std::max(now, loc.moving_until) + params().wire_latency;
+  ATCSIM_TRACE(simulation().trace(), [&] {
+    obs::TraceEvent e;
+    e.time = now;
+    e.cat = obs::TraceCat::kMigration;
+    e.type = obs::ev::kMigForward;
+    e.node = platform_->nodes()[static_cast<std::size_t>(p.dst_node)]
+                 ->id()
+                 .value;
+    e.vm = p.dst->id().value;
+    e.a0 = static_cast<std::int64_t>(p.bytes);
+    e.a1 = target_node;
+    return e;
+  }());
+  assert(pending_remote_tx_ > 0);
+  --pending_remote_tx_;
+  if (target_shard == shard_) {
+    p.dst_node = target_node - node_id_offset();
+    simulation().call_at(arrive, [this, r] { rx_arrive(r); });
+    return;
+  }
+  virt::Vm* dst = p.dst;
+  const std::uint64_t bytes = p.bytes;
+  fabric_->post_packet(shard_, target_shard, *dst, target_node, arrive, bytes,
+                       release(r));
 }
 
 void VirtualNetwork::tx_out_effect(PacketRef r) {
@@ -321,12 +417,22 @@ void VirtualNetwork::send(virt::Vm& src, virt::Vm& dst, std::uint64_t bytes,
                net_event(simulation().now(), obs::ev::kGuestTx,
                          src.node().id().value, &src,
                          static_cast<std::int64_t>(bytes), dst.id().value));
-  const bool remote = &dst.node().platform() != platform_;
+  bool remote;
+  std::int32_t dst_node;
+  if (directory_ != nullptr && dst.global_id() >= 0) {
+    // Route by the registered location, not dst's current platform
+    // pointers: during a migration's copy phase the directory still points
+    // at the source node, whose dom0 forwards anything that lands there.
+    const virt::VmLocation& loc = directory_->at(dst.global_id());
+    remote = loc.shard != shard_;
+    dst_node = remote ? kRemoteNode : loc.node_global - node_id_offset();
+  } else {
+    remote = &dst.node().platform() != platform_;
+    dst_node = remote ? kRemoteNode : dst.node().index();
+  }
   if (remote) ++pending_remote_tx_;
-  const PacketRef r =
-      acquire(bytes, &dst, src.node().index(),
-              remote ? kRemoteNode : dst.node().index(),
-              std::move(on_delivered));
+  const PacketRef r = acquire(bytes, &dst, src.node().index(), dst_node,
+                              std::move(on_delivered));
   backend_of(src).enqueue(
       Dom0Backend::Job{packet_cpu_cost(bytes), [this, r] { tx_effect(r); }});
 }

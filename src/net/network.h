@@ -21,6 +21,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -28,6 +29,7 @@
 #include "net/fabric.h"
 #include "simcore/inline_callback.h"
 #include "virt/engine.h"
+#include "virt/migration.h"
 #include "virt/platform.h"
 #include "virt/sync_event.h"
 #include "virt/workload_api.h"
@@ -103,7 +105,33 @@ class VirtualNetwork {
   /// and schedules the destination NIC rx leg at the packet's due time.
   /// Runs between rounds; `pkt.due` is strictly ahead of the local clock
   /// (the lookahead guarantee), which the assert inside enforces.
+  /// Migration control records (kVmTransfer / kLocationUpdate) are handed to
+  /// the installed control handler instead.
   void receive_remote(ShardFabric::RemotePacket& pkt);
+
+  /// Installs the cluster location directory.  With a directory, send()
+  /// routes by the destination VM's *registered* global location rather than
+  /// its current platform pointers — the only safe source of truth once VMs
+  /// migrate.  Guests without a global id (dom0, externals) keep the legacy
+  /// pointer-derived route.
+  void set_directory(virt::LocationDirectory* directory) {
+    directory_ = directory;
+  }
+  virt::LocationDirectory* directory() { return directory_; }
+
+  /// Receiver for migration control records arriving over the fabric
+  /// (installed by the shard's Migrator).
+  using ControlHandler = std::function<void(ShardFabric::RemotePacket&)>;
+  void set_control_handler(ControlHandler handler) {
+    control_handler_ = std::move(handler);
+  }
+
+  /// First global node id owned by this network's platform; translates the
+  /// directory's global node ids to local Node indices.
+  std::int32_t node_id_offset() const {
+    return platform_->config().node_id_offset;
+  }
+  int shard() const { return shard_; }
 
   /// Cross-shard sends accepted by send() whose fabric post has not happened
   /// yet (the source dom0 netback job is still queued or computing).  When
@@ -212,6 +240,7 @@ class VirtualNetwork {
   void rx_arrive(PacketRef r);        ///< wire arrival -> dst NIC rx leg
   void enqueue_rx(PacketRef r);       ///< dst dom0 netback -> event channel
   void deliver(PacketRef r);          ///< event-channel deposit to the guest
+  void forward_effect(PacketRef r);   ///< dom0 re-route after dst VM migrated
   void tx_out_effect(PacketRef r);    ///< send_out: NIC + wire, then done
   void disk_issue(PacketRef r);       ///< blkback submit on the node disk
   void disk_done(PacketRef r);        ///< device completion -> event channel
@@ -227,6 +256,8 @@ class VirtualNetwork {
   ShardFabric* fabric_ = nullptr;  ///< non-null only in sharded runs
   std::size_t pending_remote_tx_ = 0;  ///< remote sends awaiting fabric post
   int shard_ = 0;
+  virt::LocationDirectory* directory_ = nullptr;  ///< null = static placement
+  ControlHandler control_handler_;  ///< migration control-record receiver
   std::vector<NodeState> nodes_;
   Counters counters_;
   std::vector<Packet> pool_;  ///< descriptor slab; grows to high-water only

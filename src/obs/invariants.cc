@@ -75,6 +75,13 @@ void InvariantChecker::on_event(const TraceEvent& e) {
     case TraceCat::kVcpu:
       switch (e.type) {
         case ev::kDispatch: {
+          if (e.vm >= 0 &&
+              slot(vm_departed_, e.vm, std::uint8_t{0}) != 0) {
+            violate(e, "migration-residency",
+                    "vcpu " + std::to_string(e.vcpu) +
+                        " dispatched for vm " + std::to_string(e.vm) +
+                        " which migrated away");
+          }
           if (e.pcpu >= 0) {
             auto& occupant = slot(running_on_, e.pcpu, std::int32_t{-1});
             if (occupant >= 0) {
@@ -177,6 +184,42 @@ void InvariantChecker::on_event(const TraceEvent& e) {
                     "refill distributed " + std::to_string(e.a0) +
                         "mcr exceeding the period pool of " +
                         std::to_string(e.a1) + "mcr");
+          }
+          break;
+        }
+        default:
+          break;
+      }
+      break;
+
+    case TraceCat::kMigration:
+      switch (e.type) {
+        case ev::kMigDepart: {
+          if (e.vm >= 0) slot(vm_departed_, e.vm, std::uint8_t{0}) = 1;
+          pending_migrations_.push_back(PendingMigration{e.time, e.a1});
+          break;
+        }
+        case ev::kMigArrive: {
+          // a0 = departure timestamp, a1 = adopted credits (mcr).  Match
+          // against a recorded departure; none means the departure happened
+          // on another shard (its checker recorded it) — skip.
+          bool time_matched = false;
+          for (std::size_t i = 0; i < pending_migrations_.size(); ++i) {
+            if (pending_migrations_[i].depart != e.a0) continue;
+            time_matched = true;
+            if (pending_migrations_[i].credits_mcr == e.a1) {
+              pending_migrations_.erase(pending_migrations_.begin() +
+                                        static_cast<std::ptrdiff_t>(i));
+              time_matched = false;  // matched and consumed
+              break;
+            }
+          }
+          if (time_matched) {
+            violate(e, "migration-credits",
+                    "vm " + std::to_string(e.vm) + " arrived with " +
+                        std::to_string(e.a1) +
+                        "mcr, departure at t=" + std::to_string(e.a0) +
+                        " recorded a different balance");
           }
           break;
         }

@@ -14,6 +14,12 @@
 //   credit-bounds      every reported credit balance within +/- credit_clip
 //   credit-conserved   each refill distributes at most the node's credit
 //                      pool for the accounting period
+//   migration-residency  no VCPU of a migrated-away VM is ever dispatched
+//                      again under its old identity (a guest is never
+//                      runnable on two hosts at once)
+//   migration-credits  the credit balance adopted at arrival equals the
+//                      balance recorded at departure (credits are conserved
+//                      across a migration, matched by departure timestamp)
 //
 // On violation the checker either throws InvariantViolation with a dump of
 // the most recent events (default: fail fast with context) or records the
@@ -85,6 +91,19 @@ class InvariantChecker {
   std::vector<std::int32_t> running_on_;   // indexed by pcpu id
   std::vector<std::int32_t> placed_on_;    // vcpu id -> pcpu id (-1 = none)
   std::vector<std::uint8_t> spinning_;     // vcpu id -> in spin episode?
+
+  // Migration bookkeeping.  A departed VM's local id is a tombstone forever
+  // (adoption assigns fresh ids from the id-space tails), so any later
+  // dispatch under it means the guest ran on two hosts.  Departure records
+  // are matched to arrivals by departure timestamp; an arrival with no
+  // matching departure is a cross-shard migration whose departure another
+  // shard's checker observed, and is skipped.
+  struct PendingMigration {
+    sim::SimTime depart = 0;
+    std::int64_t credits_mcr = 0;
+  };
+  std::vector<std::uint8_t> vm_departed_;  // vm id -> migrated away?
+  std::vector<PendingMigration> pending_migrations_;
 };
 
 }  // namespace atcsim::obs

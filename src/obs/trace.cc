@@ -11,6 +11,7 @@ const char* cat_name(TraceCat c) {
     case TraceCat::kAtc: return "atc";
     case TraceCat::kNet: return "net";
     case TraceCat::kPdes: return "pdes";
+    case TraceCat::kMigration: return "mig";
   }
   return "?";
 }
@@ -70,6 +71,14 @@ const char* type_name(TraceCat c, std::uint8_t type) {
         case ev::kRoundBegin: return "round_begin";
         case ev::kRoundHorizon: return "round_horizon";
         case ev::kRoundElide: return "round_elide";
+      }
+      break;
+    case TraceCat::kMigration:
+      switch (type) {
+        case ev::kMigStart: return "start";
+        case ev::kMigDepart: return "depart";
+        case ev::kMigArrive: return "arrive";
+        case ev::kMigForward: return "forward";
       }
       break;
   }

@@ -36,8 +36,9 @@ enum class TraceCat : std::uint8_t {
   kAtc = 4,    ///< adaptive time-slice controller decisions
   kNet = 5,    ///< split-driver I/O hops
   kPdes = 6,   ///< sharded-run round synchronizer (ShardGroup)
+  kMigration = 7,  ///< cluster control plane: live migration lifecycle
 };
-inline constexpr int kTraceCatCount = 7;
+inline constexpr int kTraceCatCount = 8;
 
 constexpr std::uint32_t cat_bit(TraceCat c) {
   return 1u << static_cast<unsigned>(c);
@@ -82,6 +83,11 @@ inline constexpr std::uint8_t kRingGrow = 6;  ///< a0=new cap, a1=old cap (dom0 
 inline constexpr std::uint8_t kRoundBegin = 0;    ///< a0=round index, a1=shards
 inline constexpr std::uint8_t kRoundHorizon = 1;  ///< a0=min horizon, a1=max horizon
 inline constexpr std::uint8_t kRoundElide = 2;    ///< a0=classic rounds covered, a1=extended shards
+// TraceCat::kMigration (node/vm = the local ids on the emitting platform)
+inline constexpr std::uint8_t kMigStart = 0;   ///< a0=dest global node, a1=ws bytes
+inline constexpr std::uint8_t kMigDepart = 1;  ///< a0=dest global node, a1=credits (milli)
+inline constexpr std::uint8_t kMigArrive = 2;  ///< a0=src depart ns, a1=credits (milli)
+inline constexpr std::uint8_t kMigForward = 3; ///< a0=bytes, a1=target global node
 }  // namespace ev
 
 /// VCPU leave-CPU reasons (kVcpu/kLeave a0); mirrors Engine::LeaveReason.

@@ -38,40 +38,68 @@ obs::TraceEvent sched_event(SimTime now, std::uint8_t type, const Vcpu& v,
 
 CreditScheduler::CreditScheduler(Options opts) : opts_(opts) {}
 
+CreditScheduler::~CreditScheduler() {
+  // A scheduler replaced at runtime (repeated install_approach, rebalancer
+  // experimentation) must not leave its periodic refill/tick events behind:
+  // the historical self-re-arming call_in functors kept invoking the dead
+  // `this` forever.
+  if (timers_made_) {
+    sim_->disarm(refill_timer_);
+    sim_->disarm(tick_timer_);
+  }
+}
+
 void CreditScheduler::attach(virt::Node& node, virt::Engine& engine) {
   node_ = &node;
   engine_ = &engine;
+  sim_ = &engine.simulation();
   queues_.init(node.pcpus().size(), node.vms().size());
   // Dense node-local VM indices back the per-queue sibling counters that
-  // make Balance placement O(P); assigned once — the VM set is fixed by the
-  // time the engine attaches schedulers.
+  // make Balance placement O(P); assigned per node-local slot at attach.
+  // Slots stay stable for the node's lifetime (migration leaves tombstones
+  // rather than compacting), and arrivals extend the index space through
+  // vm_arrived.
   for (std::size_t i = 0; i < node.vms().size(); ++i) {
+    if (node.vms()[i] == nullptr) continue;  // migration tombstone
     for (auto& v : node.vms()[i]->vcpus()) {
       v->sched().rq.vm = static_cast<std::int32_t>(i);
     }
   }
+  next_vm_index_ = static_cast<std::int32_t>(node.vms().size());
   rng_ = engine.platform().scheduler_rng(node);
-  const SimTime period = engine.params().accounting_period;
-  // Recurring credit refill; the functor re-arms itself each period.
-  struct Rearm {
-    CreditScheduler* self;
-    SimTime period;
-    void operator()() const {
-      self->refill_credits();
-      self->engine().simulation().call_in(period, *this);
-    }
-  };
-  engine.simulation().call_in(period, Rearm{this, period});
-  const SimTime tick_period = engine.params().tick_period;
-  struct TickRearm {
-    CreditScheduler* self;
-    SimTime period;
-    void operator()() const {
-      self->tick();
-      self->engine().simulation().call_in(period, *this);
-    }
-  };
-  engine.simulation().call_in(tick_period, TickRearm{this, tick_period});
+  if (!timers_made_) {
+    refill_timer_ = engine.simulation().make_timer([this] {
+      refill_credits();
+      engine_->simulation().arm_in(refill_timer_,
+                                   engine_->params().accounting_period);
+    });
+    tick_timer_ = engine.simulation().make_timer([this] {
+      tick();
+      engine_->simulation().arm_in(tick_timer_,
+                                   engine_->params().tick_period);
+    });
+    timers_made_ = true;
+  }
+  engine.simulation().arm_in(refill_timer_, engine.params().accounting_period);
+  engine.simulation().arm_in(tick_timer_, engine.params().tick_period);
+}
+
+void CreditScheduler::vm_departing(Vm& vm) {
+  for (auto& v : vm.vcpus()) {
+    queues_.erase(*v);  // no-op for VCPUs not queued (blocked/done)
+    v->sched().boosted = false;
+  }
+}
+
+void CreditScheduler::vm_arrived(Vm& vm) {
+  const std::int32_t idx = next_vm_index_++;
+  queues_.grow_vm_stride(static_cast<std::size_t>(next_vm_index_));
+  for (auto& v : vm.vcpus()) {
+    v->sched().rq.vm = idx;
+    // Placement state from the previous host is meaningless here.
+    v->sched().queue = virt::PcpuId{};
+    v->sched().last_pcpu = virt::PcpuId{};
+  }
 }
 
 void CreditScheduler::tick() {
@@ -157,6 +185,13 @@ void CreditScheduler::vcpu_started(Vcpu& v) {
 
 void CreditScheduler::on_wake(Vcpu& v) {
   assert(v.runnable());
+  if (!v.sched().queue.valid()) {
+    // First wake on this node: the VCPU migrated in while blocked, so
+    // vm_arrived wiped its placement and vcpu_started never ran here.
+    // Credits travelled in the bundle; only the queue needs choosing.
+    const int q = place(v);
+    v.sched().queue = node_->pcpus()[static_cast<std::size_t>(q)]->id();
+  }
   // Xen grants BOOST to wakes of VCPUs that have not over-consumed.
   v.sched().boosted = v.sched().credits >= 0.0;
   rebalance_if_stacked(v);
@@ -269,6 +304,7 @@ void CreditScheduler::refill_credits() {
   // Weight-proportional distribution over VMs with live VCPUs.
   double weight_sum = 0.0;
   for (const auto& vm : node_->vms()) {
+    if (vm == nullptr) continue;  // migration tombstone
     for (const auto& v : vm->vcpus()) {
       if (v->state() != VcpuState::kDone) {
         weight_sum += static_cast<double>(vm->weight());
@@ -279,6 +315,7 @@ void CreditScheduler::refill_credits() {
   if (weight_sum <= 0.0) return;
   double distributed = 0.0;  // actually credited (post-clamp), for tracing
   for (const auto& vm : node_->vms()) {
+    if (vm == nullptr) continue;  // migration tombstone
     int live = 0;
     for (const auto& v : vm->vcpus()) {
       if (v->state() != VcpuState::kDone) ++live;

@@ -49,6 +49,10 @@ class CreditScheduler : public virt::Scheduler {
 
   CreditScheduler() : CreditScheduler(Options{}) {}
   explicit CreditScheduler(Options opts);
+  /// Disarms the refill/tick timers: a scheduler replaced at runtime
+  /// (install_approach re-run, rebalancer) must not leave periodic events
+  /// invoking a dead `this`.
+  ~CreditScheduler() override;
 
   std::string name() const override { return "credit"; }
   void attach(virt::Node& node, virt::Engine& engine) override;
@@ -61,6 +65,9 @@ class CreditScheduler : public virt::Scheduler {
   sim::SimTime slice_for(const Vcpu& v) const override;
   void charge(Vcpu& v, sim::SimTime run) override;
   Pcpu* wake_preemption_target(Vcpu& v) override;
+  bool supports_migration() const override { return true; }
+  void vm_departing(Vm& vm) override;
+  void vm_arrived(Vm& vm) override;
 
   /// Queue length (runnable VCPUs) of PCPU index `q`, for tests/policies.
   std::size_t queue_depth(int q) const { return queues_.depth(q); }
@@ -96,7 +103,16 @@ class CreditScheduler : public virt::Scheduler {
   Options opts_;
   virt::Node* node_ = nullptr;
   virt::Engine* engine_ = nullptr;
+  /// Cached at attach for the destructor: the Simulation outlives the
+  /// Platform, but the Engine (a later Platform member than the nodes that
+  /// own the schedulers) does not.
+  sim::Simulation* sim_ = nullptr;
   sim::Rng rng_{0};
+  sim::TimerId refill_timer_{};
+  sim::TimerId tick_timer_{};
+  bool timers_made_ = false;
+  /// Next dense node-local VM index (vm_arrived assigns from here).
+  std::int32_t next_vm_index_ = 0;
   /// Indexed run queues (index = pcpu index_in_node): intrusive per-class
   /// lists + per-queue per-VM sibling counters; see run_queue.h.
   IndexedRunQueues queues_;

@@ -17,7 +17,11 @@ DssController::DssController(virt::Node& node,
 void DssController::on_period() {
   const auto& mp = node_->platform().params();
   const double period_s = sim::to_seconds(mp.accounting_period);
+  if (smoothed_rate_.size() < node_->vms().size()) {
+    smoothed_rate_.resize(node_->vms().size(), 0.0);  // migration arrivals
+  }
   for (std::size_t i = 0; i < node_->vms().size(); ++i) {
+    if (node_->vms()[i] == nullptr) continue;  // migration tombstone
     virt::Vm& vm = *node_->vms()[i];
     if (vm.is_dom0()) continue;
     const double rate =

@@ -51,6 +51,23 @@ class IndexedRunQueues {
     vm_queued_.assign(queues * vms, 0);
   }
 
+  /// Widens the dense VM index space to `vms` (migration arrival gave a new
+  /// VM the next index).  Re-lays the sibling counters out under the new
+  /// stride; queue contents are untouched (links live in the VCPUs).
+  void grow_vm_stride(std::size_t vms) {
+    if (vms <= vm_stride_) return;
+    std::vector<int> wide(queues_.size() * vms, 0);
+    for (std::size_t q = 0; q < queues_.size(); ++q) {
+      for (std::size_t vm = 0; vm < vm_stride_; ++vm) {
+        wide[q * vms + vm] = vm_queued_[q * vm_stride_ + vm];
+      }
+    }
+    vm_queued_ = std::move(wide);
+    vm_stride_ = vms;
+  }
+
+  std::size_t vm_stride() const { return vm_stride_; }
+
   /// Inserts `v` into queue `q` under class `cls`, before the first element
   /// of the same class whose credit balance is more than `dead_band` below
   /// `v`'s (credit-ordered with FIFO inside the dead band) — byte-identical

@@ -1,34 +1,64 @@
 #include "sync/period_monitor.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace atcsim::sync {
 
 using sim::SimTime;
 
+void PeriodMonitor::Subscription::reset() {
+  if (id_ == 0) return;
+  if (auto list = list_.lock()) {
+    list->erase(std::remove_if(list->begin(), list->end(),
+                               [this](const Entry& e) { return e.id == id_; }),
+                list->end());
+  }
+  list_.reset();
+  id_ = 0;
+}
+
 PeriodMonitor::PeriodMonitor(virt::Platform& platform)
-    : platform_(&platform) {}
+    : platform_(&platform),
+      subscribers_(std::make_shared<SubscriberList>()) {}
+
+PeriodMonitor::~PeriodMonitor() { stop(); }
+
+PeriodMonitor::Subscription PeriodMonitor::subscribe(Callback cb) {
+  const std::uint64_t id = next_sub_id_++;
+  subscribers_->push_back(Entry{id, std::move(cb)});
+  return Subscription{subscribers_, id};
+}
 
 void PeriodMonitor::start() {
   assert(!started_);
   started_ = true;
   last_.assign(platform_->vm_count(), {});
   const SimTime period = platform_->params().accounting_period;
-  struct Rearm {
-    PeriodMonitor* self;
-    SimTime period;
-    void operator()() const {
-      self->sample();
-      self->platform_->simulation().call_in(period, *this);
-    }
-  };
-  platform_->simulation().call_in(period, Rearm{this, period});
+  if (!timer_made_) {
+    timer_ = platform_->simulation().make_timer([this, period] {
+      sample();
+      platform_->simulation().arm_in(timer_, period);
+    });
+    timer_made_ = true;
+  }
+  platform_->simulation().arm_in(timer_, period);
+}
+
+void PeriodMonitor::stop() {
+  if (timer_made_) platform_->simulation().disarm(timer_);
 }
 
 void PeriodMonitor::sample() {
   const SimTime now = platform_->simulation().now();
+  if (last_.size() < platform_->vm_count()) {
+    last_.resize(platform_->vm_count());  // migration arrivals
+  }
   for (std::size_t id = 0; id < platform_->vm_count(); ++id) {
-    virt::Vm& vm = platform_->vm(virt::VmId{static_cast<std::int32_t>(id)});
+    virt::Vm* vmp =
+        platform_->vm_ptr(virt::VmId{static_cast<std::int32_t>(id)});
+    if (vmp == nullptr) continue;  // expelled (migrated away)
+    virt::Vm& vm = *vmp;
     virt::Vm::PeriodStats snap = vm.period();
     // Fold in spins that have not finished yet: a VM whose VCPUs are stuck
     // mid-episode must not look idle to the controller.  The folded segment
@@ -51,11 +81,22 @@ void PeriodMonitor::sample() {
     vm.period().reset();
   }
   ++periods_;
-  for (const auto& cb : callbacks_) cb(periods_);
+  // Callbacks may subscribe/unsubscribe (or migrate VMs) from inside a
+  // period; sweep a snapshot of ids and re-find each in the live list so
+  // erasure during the sweep cannot skip or double-invoke an entry.
+  sweep_ids_.clear();
+  for (const Entry& e : *subscribers_) sweep_ids_.push_back(e.id);
+  for (const std::uint64_t id : sweep_ids_) {
+    for (std::size_t i = 0; i < subscribers_->size(); ++i) {
+      if ((*subscribers_)[i].id != id) continue;
+      (*subscribers_)[i].cb(periods_);
+      break;
+    }
+  }
 }
 
 sim::SimTime PeriodMonitor::avg_spin_latency(virt::VmId id) const {
-  const auto& s = last_[id.index()];
+  const auto& s = last(id);
   if (s.spin_episodes == 0) return 0;
   return s.spin_wall / static_cast<SimTime>(s.spin_episodes);
 }

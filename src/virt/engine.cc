@@ -357,11 +357,15 @@ void Engine::drain_mailbox(Vm& vm) {
   }
 }
 
-void Engine::signal_in(SyncEvent& ev, sim::SimTime delay) {
+void Engine::signal_in(SyncEvent& ev, sim::SimTime delay, Vm* owner) {
   prune_effect_entries();
   effect_entries_.push_back({sim_->now() + delay, &ev});
   SyncEvent* evp = &ev;
-  sim_->call_in(delay, [evp] { evp->signal(); });
+  const sim::EventId id = sim_->call_in(delay, [evp] { evp->signal(); });
+  if (owner != nullptr) {
+    prune_owned_timers();
+    owned_timers_.push_back({owner, &ev, sim_->now() + delay, id});
+  }
 }
 
 void Engine::note_effect_at(sim::SimTime when) {
@@ -387,6 +391,21 @@ void Engine::prune_effect_entries() {
   }
   effect_prune_threshold_ = std::max<std::size_t>(
       kEffectPruneFloor, effect_entries_.size() * 2);
+}
+
+void Engine::prune_owned_timers() {
+  // Fired entries (fire <= now) are dead: the EventId's generation moved on
+  // when the event popped, so a later cancel() is a no-op either way; this
+  // sweep just keeps the vector proportional to the live timer population.
+  const sim::SimTime now = sim_->now();
+  for (std::size_t i = 0; i < owned_timers_.size();) {
+    if (owned_timers_[i].fire <= now) {
+      owned_timers_[i] = owned_timers_.back();
+      owned_timers_.pop_back();
+    } else {
+      ++i;
+    }
+  }
 }
 
 namespace {
@@ -432,6 +451,7 @@ sim::SimTime Engine::earliest_effect_time() {
   }
   for (auto& node : platform_->nodes()) {
     for (auto& vm : node->vms()) {
+      if (vm == nullptr) continue;  // expelled by migration (tombstone slot)
       for (auto& v : vm->vcpus()) {
         const auto& e = v->eng();
         const VcpuState st = v->state();
@@ -479,6 +499,154 @@ sim::SimTime Engine::earliest_effect_time() {
     }
   }
   return bound;
+}
+
+std::unique_ptr<MigrationBundle> Engine::pause_and_expel(
+    Vm& vm, std::int32_t dest_node_global, SimTime arrive_time) {
+  assert(started_ && "migration before Engine::start");
+  assert(!vm.is_dom0() && "dom0 cannot migrate");
+  Node& node = vm.node();
+  assert(node.scheduler().supports_migration());
+
+  // Force running VCPUs off their PCPUs first: leave_cpu accounts the
+  // partial stint and charges the scheduler exactly as a preemption would.
+  for (auto& v : vm.vcpus()) {
+    if (v->state() == VcpuState::kRunning) {
+      Pcpu* p = v->eng().on_pcpu;
+      assert(p != nullptr && p->current() == v.get());
+      leave_cpu(*p, LeaveReason::kPreempt);
+    }
+  }
+
+  auto bundle = std::make_unique<MigrationBundle>();
+  bundle->gid = vm.global_id();
+  bundle->dest_node_global = dest_node_global;
+  bundle->depart_time = sim_->now();
+  bundle->arrive_time = arrive_time;
+
+  // Out of the run queues, then park every VCPU for the copy window.  The
+  // segment timers belong to this shard's simulation and stay behind;
+  // adopt_and_resume makes fresh ones.
+  node.scheduler().vm_departing(vm);
+  bundle->vcpu_runnable.reserve(vm.vcpus().size());
+  for (auto& v : vm.vcpus()) {
+    bundle->vcpu_runnable.push_back(v->state() == VcpuState::kRunnable);
+    bundle->credits_total += v->sched().credits;
+    if (v->state() != VcpuState::kDone) v->set_state(VcpuState::kBlocked);
+    sim_->disarm(v->eng().segment_timer);
+    v->eng().on_pcpu = nullptr;
+  }
+
+  // Owned workload timers: cancel here, travel as remaining delays.  A
+  // cancel that returns false lost a race with its own firing inside this
+  // same instant; the signal already happened, so nothing travels.
+  const SimTime now = sim_->now();
+  for (std::size_t i = 0; i < owned_timers_.size();) {
+    OwnedTimer& t = owned_timers_[i];
+    if (t.owner == &vm) {
+      if (sim_->cancel(t.id)) {
+        bundle->timers.push_back({t.ev, t.fire - now});
+      }
+      owned_timers_[i] = owned_timers_.back();
+      owned_timers_.pop_back();
+    } else {
+      ++i;
+    }
+  }
+
+  // Queued event-channel mail travels inside the Vm's mailbox; it stops
+  // counting against this engine's pending-deposit bound.
+  assert(deposits_pending_ >= vm.mailbox().size());
+  deposits_pending_ -= vm.mailbox().size();
+  bundle->mailbox_count = vm.mailbox().size();
+
+  ATCSIM_TRACE(sim_->trace(), [&] {
+    obs::TraceEvent e;
+    e.time = now;
+    e.cat = obs::TraceCat::kMigration;
+    e.type = obs::ev::kMigDepart;
+    e.node = node.id().value;
+    e.vm = vm.id().value;
+    e.a0 = dest_node_global;
+    e.a1 = static_cast<std::int64_t>(bundle->credits_total * 1000.0);
+    return e;
+  }());
+
+  bundle->vm = platform_->expel_vm(vm);
+  assert(bundle->vm != nullptr);
+  return bundle;
+}
+
+Vm& Engine::adopt_and_resume(MigrationBundle& bundle, NodeId dest_node) {
+  assert(started_ && "migration before Engine::start");
+  assert(bundle.vm != nullptr);
+  Vm& vm = platform_->adopt_vm(dest_node, std::move(bundle.vm));
+  Node& node = vm.node();
+  assert(node.scheduler().supports_migration());
+  node.scheduler().vm_arrived(vm);
+
+  // Queued mail re-enters this engine's pending-deposit accounting.
+  deposits_pending_ += vm.mailbox().size();
+
+  // Fresh per-VCPU segment timers on this simulation (the source slots are
+  // orphaned there, permanently disarmed).
+  for (auto& v : vm.vcpus()) {
+    Vcpu* vp = v.get();
+    vp->eng().segment_timer = sim_->make_timer([this, vp] {
+      Pcpu* p = vp->eng().on_pcpu;
+      assert(p != nullptr && "segment timer fired off-CPU");
+      compute_finished(*p, *vp);
+    });
+  }
+
+  // Workload rebind hooks run before any VCPU resumes, so the first next()
+  // on this node already sees the destination engine/network.
+  for (auto& v : vm.vcpus()) {
+    if (v->workload() != nullptr) v->workload()->on_vm_migrated(vm, *this);
+  }
+
+  // Travelled timers re-arm with their remaining delays.
+  for (const auto& t : bundle.timers) {
+    signal_in(*t.ev, std::max<SimTime>(t.remaining, 0), &vm);
+  }
+
+  ATCSIM_TRACE(sim_->trace(), [&] {
+    double credits = 0.0;
+    for (auto& v : vm.vcpus()) credits += v->sched().credits;
+    obs::TraceEvent e;
+    e.time = sim_->now();
+    e.cat = obs::TraceCat::kMigration;
+    e.type = obs::ev::kMigArrive;
+    e.node = node.id().value;
+    e.vm = vm.id().value;
+    e.a0 = bundle.depart_time;
+    e.a1 = static_cast<std::int64_t>(credits * 1000.0);
+    return e;
+  }());
+
+  // Resume: pre-pause runnable VCPUs go back to the queues via fresh
+  // placement on this node.  Blocked ones stay blocked until their
+  // (travelled) event signals — except that queued mail must wake one
+  // VCPU, exactly as the deposit that queued it would have.
+  std::size_t i = 0;
+  bool any_runnable = false;
+  for (auto& v : vm.vcpus()) {
+    const bool was_runnable = bundle.vcpu_runnable[i++];
+    if (v->state() == VcpuState::kDone) continue;
+    if (was_runnable) {
+      v->set_state(VcpuState::kRunnable);
+      node.scheduler().vcpu_started(*v);
+      any_runnable = true;
+    }
+  }
+  if (!any_runnable && !vm.mailbox().empty()) {
+    if (Vcpu* b = vm.first_blocked()) {
+      b->set_state(VcpuState::kRunnable);
+      node.scheduler().vcpu_started(*b);
+    }
+  }
+  kick_idle_pcpus(node);
+  return vm;
 }
 
 void Engine::wake(Vcpu& v) {

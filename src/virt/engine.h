@@ -13,10 +13,12 @@
 // (Workload::effect_distance) — see DESIGN.md §10.
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "simcore/inline_callback.h"
 #include "simcore/simulation.h"
+#include "virt/migration.h"
 #include "virt/params.h"
 #include "virt/platform.h"
 
@@ -67,7 +69,13 @@ class Engine {
   /// pending entry is credited with the registered waiters' own
   /// effect_distance, so the caller should block on `ev` within the same
   /// event (both signal_in users do).
-  void signal_in(SyncEvent& ev, sim::SimTime delay);
+  ///
+  /// `owner` (optional) attributes the pending timer to a VM: a migratable
+  /// workload passes its own VM so pause_and_expel can cancel the firing and
+  /// carry the remaining delay to the destination engine.  Timers with no
+  /// owner are pinned to this engine (fine for everything that never
+  /// migrates).
+  void signal_in(SyncEvent& ev, sim::SimTime delay, Vm* owner = nullptr);
 
   /// Records that a registered timer may act on the network at `when`
   /// (absolute).  Cheap: one push into a lazily-pruned vector.
@@ -91,6 +99,24 @@ class Engine {
 
   /// Total context switches executed platform-wide.
   std::uint64_t total_switches() const { return total_switches_; }
+
+  // --- live migration (stop-and-copy) ------------------------------------
+
+  /// Source half of a migration, at decision time t: forces the VM's
+  /// running VCPUs off their PCPUs (accounting the partial stints), pulls
+  /// every VCPU out of the node's run queues, cancels the VM's owned
+  /// workload timers (their remaining delays travel in the bundle), removes
+  /// the VM's queued mail from this engine's deposit count (the mailbox
+  /// itself travels inside the Vm), and detaches the Vm from the platform.
+  /// `arrive_time` is t_r, the end of the copy window.
+  std::unique_ptr<MigrationBundle> pause_and_expel(
+      Vm& vm, std::int32_t dest_node_global, sim::SimTime arrive_time);
+
+  /// Destination half, at t_r: attaches the VM to `dest_node`, gives every
+  /// VCPU a fresh segment timer on this simulation, runs the workloads'
+  /// on_vm_migrated rebind hooks, re-arms the travelled timers, restores
+  /// runnability and kicks the node's idle PCPUs.
+  Vm& adopt_and_resume(MigrationBundle& bundle, NodeId dest_node);
 
  private:
   void dispatch(Pcpu& p);
@@ -126,7 +152,20 @@ class Engine {
   static constexpr std::size_t kEffectPruneFloor = 16;
   std::size_t effect_prune_threshold_ = kEffectPruneFloor;
 
+  /// VM-owned pending workload timers (signal_in with an owner): enough to
+  /// cancel and re-home them when the owner migrates.  Fired entries are
+  /// pruned lazily (cancel() on a fired EventId is a safe no-op thanks to
+  /// generation tags, but we sweep to keep the vector small).
+  struct OwnedTimer {
+    Vm* owner = nullptr;
+    SyncEvent* ev = nullptr;
+    sim::SimTime fire = 0;
+    sim::EventId id{};
+  };
+  std::vector<OwnedTimer> owned_timers_;
+
   void prune_effect_entries();
+  void prune_owned_timers();
 };
 
 }  // namespace atcsim::virt

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 
 #include "simcore/time.h"
 
@@ -130,6 +131,21 @@ struct ModelParams {
   /// knob: the simulated outcome and the merged trace are byte-identical
   /// under either barrier.
   bool pdes_spin_barrier = true;
+
+  // --- Cluster control plane (contention model + live migration) --------
+  /// LLC (socket) domains per host; the contention model divides a host's
+  /// aggregate guest miss pressure by this (two sockets absorb twice the
+  /// misses before thrashing).  Matches the paper's 2-socket testbed.
+  int llc_domains_per_node = 2;
+
+  /// Stop-and-copy floor of a live migration: even a tiny VM is paused at
+  /// least this long (final dirty-round + handshake).
+  SimTime migration_downtime_floor = 30_ms;
+
+  /// Default guest working-set size copied by a migration when the VM does
+  /// not declare one (Vm::ws_bytes).  Small on purpose: at 1 GbE, 32 MiB
+  /// keeps a move ~0.3 s so short experiment windows can afford several.
+  std::int64_t migration_ws_bytes = 32ll << 20;
 
   // --- Disk (blkback path) ----------------------------------------------
   /// Device service latency per request once dom0 has issued it.

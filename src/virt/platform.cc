@@ -34,6 +34,7 @@ Platform::Platform(sim::Simulation& simulation, PlatformConfig config)
   nodes_.reserve(static_cast<std::size_t>(config_.nodes));
   for (int n = 0; n < config_.nodes; ++n) {
     auto node = std::make_unique<Node>(NodeId{n}, *this, n);
+    node->set_llc_domains(config_.params.llc_domains_per_node);
     for (int c = 0; c < config_.pcpus_per_node; ++c) {
       auto pcpu = std::make_unique<Pcpu>(
           PcpuId{static_cast<std::int32_t>(pcpus_.size())}, *node, c);
@@ -88,9 +89,44 @@ void Platform::set_scheduler(NodeId node_id, std::unique_ptr<Scheduler> sched) {
 std::vector<Vm*> Platform::guest_vms() const {
   std::vector<Vm*> out;
   for (Vm* vm : vms_) {
-    if (!vm->is_dom0()) out.push_back(vm);
+    if (vm != nullptr && !vm->is_dom0()) out.push_back(vm);
   }
   return out;
+}
+
+std::unique_ptr<Vm> Platform::expel_vm(Vm& vm) {
+  assert(!vm.is_dom0());
+  Node& node = vm.node();
+  assert(vms_[vm.id().index()] == &vm);
+  vms_[vm.id().index()] = nullptr;
+  for (auto& v : vm.vcpus()) {
+    assert(vcpus_[v->id().index()] == v.get());
+    vcpus_[v->id().index()] = nullptr;
+  }
+  // Extract ownership but keep the (now null) slot, so sibling VMs keep
+  // their node-local positions and the scheduler's dense per-VM indices.
+  for (auto& slot : node.vms()) {
+    if (slot.get() == &vm) return std::move(slot);
+  }
+  assert(false && "expel_vm: vm not owned by its node");
+  return nullptr;
+}
+
+Vm& Platform::adopt_vm(NodeId node_id, std::unique_ptr<Vm> vm) {
+  assert(node_id.valid() && node_id.index() < nodes_.size());
+  assert(vm != nullptr);
+  Node& node = *nodes_[node_id.index()];
+  // Fresh local identities from the id-space tails; the old slots (on
+  // whichever platform expelled it) stay tombstoned forever.
+  vm->set_id(VmId{static_cast<std::int32_t>(vms_.size())});
+  vm->set_node(node);
+  for (auto& v : vm->vcpus()) {
+    v->set_id(VcpuId{static_cast<std::int32_t>(vcpus_.size())});
+    vcpus_.push_back(v.get());
+  }
+  vms_.push_back(vm.get());
+  node.vms().push_back(std::move(vm));
+  return *vms_.back();
 }
 
 }  // namespace atcsim::virt

@@ -1,6 +1,7 @@
 // Platform: the whole simulated cluster (nodes, VMs, VCPUs) plus the engine.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -86,14 +87,40 @@ class Platform {
 
   std::vector<std::unique_ptr<Node>>& nodes() { return nodes_; }
   Node& node(NodeId id) { return *nodes_[id.index()]; }
-  Vm& vm(VmId id) { return *vms_[id.index()]; }
+  Vm& vm(VmId id) {
+    assert(vms_[id.index()] != nullptr);  // expelled ids are tombstoned
+    return *vms_[id.index()];
+  }
   Vcpu& vcpu(VcpuId id) { return *vcpus_[id.index()]; }
   Pcpu& pcpu(PcpuId id) { return *pcpus_[id.index()]; }
   std::size_t vm_count() const { return vms_.size(); }
   std::size_t vcpu_count() const { return vcpus_.size(); }
 
-  /// All guest (non-dom0) VMs, platform-wide, in id order.
+  /// Null-safe VM lookup: nullptr for out-of-range ids and for slots left
+  /// behind by a VM that migrated off this platform (tombstones).  Every
+  /// id-sweeping consumer (monitors, stat loops) must use this instead of
+  /// vm().
+  Vm* vm_ptr(VmId id) {
+    const std::size_t i = static_cast<std::size_t>(id.index());
+    return (id.valid() && i < vms_.size()) ? vms_[i] : nullptr;
+  }
+
+  /// All guest (non-dom0) VMs currently resident, platform-wide, in id
+  /// order (skips migration tombstones).
   std::vector<Vm*> guest_vms() const;
+
+  // --- live migration ----------------------------------------------------
+
+  /// Detaches `vm` from this platform: its id slots become tombstones and
+  /// the node keeps a null placeholder so sibling VMs' scheduler indices
+  /// stay dense.  The caller receives ownership; the VCPUs must already be
+  /// off-CPU and out of every run queue (Engine::pause_and_expel does both).
+  std::unique_ptr<Vm> expel_vm(Vm& vm);
+
+  /// Adopts a VM expelled from another (or this) platform onto `node`:
+  /// assigns fresh local VmId/VcpuIds from the id-space tails and rewires
+  /// the VM's node back-pointer.  The engine resumes the VCPUs separately.
+  Vm& adopt_vm(NodeId node, std::unique_ptr<Vm> vm);
 
  private:
   sim::Simulation* sim_;

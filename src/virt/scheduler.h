@@ -18,6 +18,7 @@ class Engine;
 class Node;
 class Pcpu;
 class Vcpu;
+class Vm;
 
 class Scheduler {
  public:
@@ -61,6 +62,24 @@ class Scheduler {
   /// Preemption target for a freshly woken VCPU when
   /// ModelParams::wake_preemption is enabled; nullptr = no preemption.
   virtual Pcpu* wake_preemption_target(Vcpu& /*v*/) { return nullptr; }
+
+  // --- live migration ----------------------------------------------------
+
+  /// Whether this scheduler can host migrating VMs (implements the two
+  /// hooks below).  The migration manager refuses moves between nodes whose
+  /// scheduler says no, so approaches that never migrate need not bother.
+  virtual bool supports_migration() const { return false; }
+
+  /// `vm` is about to leave this node.  The engine has already forced its
+  /// VCPUs off-CPU (they sit requeued as runnable or blocked); the
+  /// scheduler must remove every one of them from its run queues and drop
+  /// any per-VM bookkeeping.
+  virtual void vm_departing(Vm& /*vm*/) {}
+
+  /// `vm` was adopted onto this node (Platform::adopt_vm already ran).  The
+  /// scheduler assigns fresh per-VM bookkeeping; the engine re-starts the
+  /// runnable VCPUs through vcpu_started afterwards.
+  virtual void vm_arrived(Vm& /*vm*/) {}
 };
 
 }  // namespace atcsim::virt

@@ -19,9 +19,9 @@ void SyncEvent::signal() {
   // not in the list being consumed.
   scratch_.swap(waiters_);
 #if ATCSIM_TRACE_ENABLED
-  if (obs::TraceSink* sink = engine_.simulation().trace()) {
+  if (obs::TraceSink* sink = engine_->simulation().trace()) {
     obs::TraceEvent e;
-    e.time = engine_.simulation().now();
+    e.time = engine_->simulation().now();
     e.cat = obs::TraceCat::kSync;
     e.type = obs::ev::kSignal;
     if (!scratch_.empty()) {
@@ -32,7 +32,7 @@ void SyncEvent::signal() {
     sink->emit(e);
   }
 #endif
-  engine_.on_signalled(scratch_);
+  engine_->on_signalled(scratch_);
   scratch_.clear();
 }
 

@@ -23,9 +23,14 @@ class Vcpu;
 
 class SyncEvent {
  public:
-  explicit SyncEvent(Engine& engine) : engine_(engine) {}
+  explicit SyncEvent(Engine& engine) : engine_(&engine) {}
   SyncEvent(const SyncEvent&) = delete;
   SyncEvent& operator=(const SyncEvent&) = delete;
+
+  /// Re-homes the event onto another engine (live migration: the owning
+  /// workload travels with its VM and must signal waiters through the
+  /// destination platform's engine).  Only legal between events.
+  void rebind(Engine& engine) { engine_ = &engine; }
 
   /// Fires the condition.  Blocked waiters are woken; waiters spinning on a
   /// PCPU proceed immediately; descheduled spinners proceed when next
@@ -61,7 +66,7 @@ class SyncEvent {
   const std::vector<Vcpu*>& waiters() const { return waiters_; }
 
  private:
-  Engine& engine_;
+  Engine* engine_;
   bool signalled_ = false;
   std::vector<Vcpu*> waiters_;
   std::vector<Vcpu*> scratch_;  ///< signal()'s wake list; kept for capacity

@@ -105,6 +105,8 @@ class Vcpu {
   // Engine-only state transitions (public for the engine; see engine.cc).
   void set_state(VcpuState s) { state_ = s; }
   Totals& mutable_totals() { return totals_; }
+  /// Migration rewiring (Platform::adopt_vm only).
+  void set_id(VcpuId id) { id_ = id; }
 
  private:
   VcpuId id_;

@@ -32,6 +32,22 @@ class Vm {
   VmType type() const { return type_; }
   const std::string& name() const { return name_; }
 
+  /// Cluster-wide identity, assigned once at scenario build in creation
+  /// order and never changed — unlike the platform-local id(), which is
+  /// reassigned when the VM migrates onto another platform.  Location
+  /// directories and migration policies key on this.  -1 until assigned.
+  std::int64_t global_id() const { return global_id_; }
+  void set_global_id(std::int64_t g) { global_id_ = g; }
+
+  // Migration rewiring (Platform::adopt_vm only).
+  void set_id(VmId id) { id_ = id; }
+  void set_node(Node& n) { node_ = &n; }
+
+  /// Working-set size used for the live-migration copy cost; 0 means "use
+  /// ModelParams::migration_ws_bytes".
+  std::int64_t ws_bytes() const { return ws_bytes_; }
+  void set_ws_bytes(std::int64_t b) { ws_bytes_ = b; }
+
   bool is_parallel() const { return type_ == VmType::kParallel; }
   bool is_dom0() const { return type_ == VmType::kDom0; }
 
@@ -122,6 +138,8 @@ class Vm {
   Node* node_;
   VmType type_;
   std::string name_;
+  std::int64_t global_id_ = -1;
+  std::int64_t ws_bytes_ = 0;
   std::vector<std::unique_ptr<Vcpu>> vcpus_;
   int weight_ = 256;
   int cap_percent_ = 0;

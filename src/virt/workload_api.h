@@ -16,7 +16,9 @@
 
 namespace atcsim::virt {
 
+class Engine;
 class Vcpu;
+class Vm;
 class SyncEvent;
 
 /// One step of a guest program.
@@ -80,6 +82,21 @@ class Workload {
   /// 0 (the default) is always safe: "my very next step may send".
   /// sim::kTimeNever promises the program never touches the network.
   virtual sim::SimTime effect_distance() const { return 0; }
+
+  /// Whether this program's VM may be live-migrated *right now*.  A program
+  /// opting in must (a) keep all cross-engine references rebindables via
+  /// on_vm_migrated and (b) return false while an I/O chain it started is
+  /// still in flight on the source node (the completion callback would act
+  /// on the wrong engine).  The default keeps every workload pinned.
+  virtual bool migratable() const { return false; }
+
+  /// Post-adopt hook: the VM now lives on `engine`'s platform.  Rebind any
+  /// retained Engine/VirtualNetwork pointers and SyncEvents here.  Runs at
+  /// the arrival instant, before any VCPU of the VM is resumed.
+  virtual void on_vm_migrated(Vm& vm, Engine& engine) {
+    (void)vm;
+    (void)engine;
+  }
 
   virtual std::string name() const = 0;
 };

@@ -107,9 +107,12 @@ virt::Action LoopWorkload::next(virt::Vcpu& /*self*/) {
         } else {
           think_->reset();
         }
+        // Owner-tagged: if the VM migrates mid-think the engine cancels
+        // this timer and re-arms the remaining wait on the destination.
         net_->engine().signal_in(
             *think_,
-            std::max<sim::SimTime>(rng_.jittered(p.duration, p.jitter), 1));
+            std::max<sim::SimTime>(rng_.jittered(p.duration, p.jitter), 1),
+            vm_);
         return virt::Action::block_wait(*think_);
       }
       case PhaseKind::kIo: {
@@ -119,8 +122,14 @@ virt::Action LoopWorkload::next(virt::Vcpu& /*self*/) {
         } else {
           io_->reset();
         }
-        virt::SyncEvent* ev = io_.get();
-        net_->submit_disk(*vm_, p.bytes, [ev] { ev->signal(); });
+        // `this` is heap-stable and travels with the VM, but the chain is
+        // node-local anyway: io_pending_ pins the VM (migratable() false)
+        // until the completion lands.
+        io_pending_ = true;
+        net_->submit_disk(*vm_, p.bytes, [this] {
+          io_pending_ = false;
+          io_->signal();
+        });
         return virt::Action::block_wait(*io_);
       }
       case PhaseKind::kSend:
@@ -129,6 +138,12 @@ virt::Action LoopWorkload::next(virt::Vcpu& /*self*/) {
         break;  // unreachable: validation rejects these in loop mode
     }
   }
+}
+
+void LoopWorkload::on_vm_migrated(virt::Vm& vm, virt::Engine& engine) {
+  net_ = vm.node().platform().network();
+  if (think_ != nullptr) think_->rebind(engine);
+  if (io_ != nullptr) io_->rebind(engine);
 }
 
 // -------------------------------------------------------- IdleServerWorkload

@@ -42,6 +42,8 @@ class CpuBoundWorkload : public virt::Workload {
   /// Pure compute loop: never touches the network.
   sim::SimTime effect_distance() const override { return sim::kTimeNever; }
   std::string name() const override { return cfg_.name; }
+  /// No node-local state at all: safe to move at any instant.
+  bool migratable() const override { return true; }
 
   /// Canned SPEC CPU 2006 profiles.
   static Config sphinx3();
@@ -81,6 +83,13 @@ class LoopWorkload : public virt::Workload {
   /// VM-local, so a loop guest never acts on the network.
   sim::SimTime effect_distance() const override { return sim::kTimeNever; }
   std::string name() const override { return desc_.name; }
+  /// Movable except while a blkback request is in flight: the disk chain
+  /// holds node-local device state that cannot follow the VM.
+  bool migratable() const override { return !io_pending_; }
+  /// Rebinds the node-derived references (network, sync-event engines) to
+  /// the adopting platform.  Think timers travel separately as owned
+  /// engine timers (signal_in's owner tag).
+  void on_vm_migrated(virt::Vm& vm, virt::Engine& engine) override;
 
  private:
   net::VirtualNetwork* net_;
@@ -92,6 +101,7 @@ class LoopWorkload : public virt::Workload {
   sim::SimTime last_compute_ = 0;  ///< credited on the following call
   std::unique_ptr<virt::SyncEvent> think_;
   std::unique_ptr<virt::SyncEvent> io_;
+  bool io_pending_ = false;  ///< a blkback request is in flight
 };
 
 /// Halted server VCPU: blocks forever, woken only to process event-channel

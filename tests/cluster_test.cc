@@ -77,10 +77,14 @@ TEST(PlacementTest, ReusesNodesOnlyWhenNecessary) {
 }
 
 TEST(ApproachTest, NamesAndCount) {
-  EXPECT_EQ(all_approaches().size(), 6u);
+  EXPECT_EQ(all_approaches().size(), 8u);
   EXPECT_EQ(approach_name(Approach::kCR), "CR");
   EXPECT_EQ(approach_name(Approach::kATC), "ATC");
   EXPECT_EQ(approach_name(Approach::kVS), "VS");
+  EXPECT_EQ(approach_name(Approach::kPM), "PM");
+  EXPECT_EQ(approach_name(Approach::kATCPM), "ATC+PM");
+  // Out-of-range values abort loudly instead of returning a silent "?".
+  EXPECT_DEATH(approach_name(static_cast<Approach>(99)), "invalid Approach");
 }
 
 TEST(ScenarioTest, IdenticalClustersBuildTypeALayout) {

@@ -79,7 +79,7 @@ TEST(ClassifierTest, DetectsParallelBehaviourWithoutLabels) {
   virt::Vm& bsp = rig.bsp_vm();
   virt::Vm& cpu = rig.cpu_vm();
   atc::VmClassifier cls(*rig.platform->nodes()[0], *rig.monitor);
-  rig.monitor->subscribe([&](std::uint64_t) { cls.on_period(); });
+  auto sub = rig.monitor->subscribe([&](std::uint64_t) { cls.on_period(); });
   rig.start();
   rig.simulation.run_until(500_ms);
   EXPECT_TRUE(cls.is_parallel(bsp));
@@ -90,7 +90,7 @@ TEST(ClassifierTest, Dom0NeverLabelled) {
   ClsRig rig;
   rig.bsp_vm();
   atc::VmClassifier cls(*rig.platform->nodes()[0], *rig.monitor);
-  rig.monitor->subscribe([&](std::uint64_t) { cls.on_period(); });
+  auto sub = rig.monitor->subscribe([&](std::uint64_t) { cls.on_period(); });
   rig.start();
   rig.simulation.run_until(500_ms);
   EXPECT_FALSE(cls.is_parallel(*rig.platform->nodes()[0]->dom0()));

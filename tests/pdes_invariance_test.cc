@@ -47,6 +47,7 @@ struct RunResult {
   std::uint64_t fabric_delivered = 0;
   std::uint64_t rounds = 0;              // ShardGroup stats (sharded only)
   std::uint64_t horizon_extensions = 0;  // "
+  std::uint64_t migrations = 0;  // started, summed over every shard
   std::string trace;  // merged compact trace; empty unless requested
   // Digests of the merged trace (trace_hash mode): the whole byte stream,
   // and the stream with the coordinator's pdes.* round events stripped.
@@ -74,6 +75,9 @@ struct RunCase {
   /// Workload-descriptor text; when non-empty the scenario is built from it
   /// instead of the NPB profile (descriptor.h).
   std::string descriptor;
+  /// Schedule the scripted live-migration plan (see run_case): moves chosen
+  /// by global VM id, so the plan is identical at every shard count.
+  bool migrate = false;
 };
 
 std::uint64_t fnv1a(std::uint64_t h, const char* p, std::size_t n) {
@@ -139,9 +143,33 @@ RunResult run_case(const RunCase& c) {
     cluster::build_type_a(s, c.app, c.cls);
   }
   s.start();
+  if (c.migrate) {
+    // Three moves during the measurement window, addressed by global VM id
+    // (creation order — independent of the shard map).  The half-cluster
+    // hop crosses a shard boundary at every K >= 2; the single hop is
+    // same-shard at low K and cross-shard at high K, so both the fabric
+    // kVmTransfer path and the local call_at path run under comparison.
+    const struct {
+      std::int64_t gid;
+      sim::SimTime at;
+      int hop;
+    } moves[] = {{2, 700_ms, c.nodes / 2}, {5, 900_ms, 1},
+                 {9, 1100_ms, c.nodes / 2}};
+    for (const auto& m : moves) {
+      for (virt::Vm* vm : s.guest_vms()) {
+        if (vm->global_id() != m.gid) continue;
+        const int src = vm->node().platform().global_node_id(vm->node());
+        s.schedule_migration(*vm, m.at, (src + m.hop) % c.nodes);
+        break;
+      }
+    }
+  }
   s.warmup_and_measure(c.warmup, c.measure);
 
   RunResult r;
+  for (int k = 0; k < s.shard_count(); ++k) {
+    r.migrations += s.migrator(k).migrations_started();
+  }
   r.superstep = s.mean_superstep_with_prefix(prefix);
   r.spin = s.avg_parallel_spin_latency();
   r.llc = s.llc_miss_rate();
@@ -331,6 +359,62 @@ TEST(PdesInvarianceTest, EotExtensionAndBarrierChoiceNeverChangeTheOutcome) {
           << what << ": disabling EOT should cost rounds here, or the "
                      "extension does nothing on this workload";
     }
+  }
+}
+
+// Shared by the migrating-scenario tests: independent loop guests
+// (migratable; BSP ranks deliberately are not) whose think timers and I/O
+// completions must travel in the bundle when a scripted move fires.
+constexpr const char* kMigratingDescriptor =
+    "workload svc\nrate_units 4\nphase compute 400us jitter=0.1\n"
+    "phase think 500us\nphase io 16KiB\n";
+
+TEST(PdesInvarianceTest, ScriptedMigrationsAreShardCountInvariant) {
+  // Live migration is pure latency (DESIGN.md §12): a cross-shard move and
+  // the same move executed inside one shard must be metrically identical,
+  // so carving the migrating cluster differently changes nothing.
+  RunCase base;
+  base.nodes = 8;
+  base.migrate = true;
+  base.descriptor = kMigratingDescriptor;
+  const RunResult serial = run_case(base);
+  ASSERT_GT(serial.rate, 0.0);
+  ASSERT_GT(serial.migrations, 0u)
+      << "no scripted move fired; the migration invariance check would be "
+         "vacuous";
+  for (int shards : {2, 4}) {
+    RunCase c = base;
+    c.shards = shards;
+    const RunResult sharded = run_case(c);
+    expect_equal_metrics(serial, sharded, "shards=" + std::to_string(shards));
+    EXPECT_EQ(sharded.migrations, serial.migrations)
+        << "shards=" << shards
+        << ": the scripted plan must fire identically at every shard count";
+  }
+}
+
+TEST(PdesInvarianceTest, MigratingRunsKeepThreadCountTraceDeterminism) {
+  // With the shard map fixed, the worker-thread count must stay invisible
+  // even while kVmTransfer control records and VM bundles cross the fabric:
+  // merged traces are byte-identical.
+  RunCase base;
+  base.nodes = 8;
+  base.shards = 4;
+  base.migrate = true;
+  base.trace = true;
+  base.threads = 1;
+  base.descriptor = kMigratingDescriptor;
+  const RunResult one = run_case(base);
+  ASSERT_GT(one.migrations, 0u);
+  ASSERT_FALSE(one.trace.empty());
+  for (std::size_t threads : {std::size_t{2}, std::size_t{4}}) {
+    RunCase c = base;
+    c.threads = threads;
+    const RunResult many = run_case(c);
+    expect_equal_metrics(one, many, "threads=" + std::to_string(threads));
+    EXPECT_EQ(many.migrations, one.migrations);
+    EXPECT_EQ(one.trace, many.trace)
+        << "merged trace differs at threads=" << threads;
   }
 }
 

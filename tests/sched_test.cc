@@ -205,7 +205,8 @@ TEST(CoschedTest, GangFlagFollowsSpinThreshold) {
   auto cs = std::make_unique<sched::CoScheduler>();
   sched::CoScheduler* raw = cs.get();
   sync::PeriodMonitor monitor(*rig.platform);
-  monitor.subscribe([&](std::uint64_t) { raw->update_gang_flags(monitor); });
+  auto sub = monitor.subscribe(
+      [&](std::uint64_t) { raw->update_gang_flags(monitor); });
   monitor.start();
   rig.start(std::move(cs));
   rig.simulation.run_until(200_ms);
@@ -219,7 +220,8 @@ TEST(CoschedTest, SingleVcpuVmsNeverGang) {
   auto cs = std::make_unique<sched::CoScheduler>();
   sched::CoScheduler* raw = cs.get();
   sync::PeriodMonitor monitor(*rig.platform);
-  monitor.subscribe([&](std::uint64_t) { raw->update_gang_flags(monitor); });
+  auto sub = monitor.subscribe(
+      [&](std::uint64_t) { raw->update_gang_flags(monitor); });
   monitor.start();
   rig.start(std::move(cs));
   rig.simulation.run_until(200_ms);
@@ -232,7 +234,7 @@ TEST(DssTest, IoActiveVmGetsShortSliceIdleVmKeepsDefault) {
   virt::Vm& idle = rig.cpu_vm(5_ms);
   sync::PeriodMonitor monitor(*rig.platform);
   sched::DssController ctrl(rig.platform->node(virt::NodeId{0}), monitor);
-  monitor.subscribe([&](std::uint64_t) { ctrl.on_period(); });
+  auto sub = monitor.subscribe([&](std::uint64_t) { ctrl.on_period(); });
   // Inject a steady I/O event stream into `active`.
   struct Pump {
     virt::Platform* p;
@@ -331,7 +333,7 @@ TEST(MonitorTest, SpanningEpisodeConservesPeriodAndTotalSpin) {
 
   sync::PeriodMonitor monitor(*rig.platform);
   std::vector<sim::SimTime> period_spin;
-  monitor.subscribe(
+  auto sub = monitor.subscribe(
       [&](std::uint64_t) { period_spin.push_back(monitor.last(vm.id()).spin_wall); });
   monitor.start();
   rig.start(std::make_unique<sched::CreditScheduler>());
@@ -358,7 +360,7 @@ TEST(MonitorTest, SubscribersInvokedEveryPeriod) {
   rig.cpu_vm(5_ms);
   sync::PeriodMonitor monitor(*rig.platform);
   std::vector<std::uint64_t> calls;
-  monitor.subscribe([&](std::uint64_t idx) { calls.push_back(idx); });
+  auto sub = monitor.subscribe([&](std::uint64_t idx) { calls.push_back(idx); });
   monitor.start();
   rig.start(std::make_unique<sched::CreditScheduler>());
   rig.simulation.run_until(100_ms);
