@@ -25,6 +25,9 @@
 //                                       # top shard count (t-suffixed keys)
 //   pdes_report --large                 # add a 4096-node point at the top
 //                                       # shard count (50 ms window)
+//   pdes_report --xl                    # add a 16384-node point (10 ms
+//                                       # window; 2048 nodes under --quick
+//                                       # so CI smoke stays runnable)
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -53,6 +56,8 @@ struct ShardRun {
   double serial_s = 0;          // sum over rounds of all shards' advance work
   double barrier_wait_s = 0;    // coordinator join-wait (fork-join overhead)
   double projected_wall_s = 0;  // wall_s - serial_s + critical_s
+  std::uint64_t bound_recomputes = 0;  // effect-bound VM recomputations
+  std::uint64_t bound_cache_hits = 0;  // dirty-ring skips (cached bounds)
 };
 
 /// One timed execution of the macro at `shards`; construction/teardown of
@@ -89,6 +94,8 @@ ShardRun run_macro(int shards, std::size_t threads, int nodes,
         best.critical_s = g->stats().critical_s;
         best.serial_s = g->stats().serial_s;
         best.barrier_wait_s = g->stats().barrier_wait_s;
+        best.bound_recomputes = g->stats().bound_recomputes;
+        best.bound_cache_hits = g->stats().bound_cache_hits;
       }
     }
   }
@@ -118,6 +125,8 @@ void emit_shard_run(std::ostringstream& os, int nodes, const ShardRun& r,
      << ", \"barrier_wait_s\": " << rb::json_number(r.barrier_wait_s)
      << ", \"projected_wall_s\": " << rb::json_number(r.projected_wall_s)
      << ", \"projected_per_sec\": " << rb::json_number(projected_per_sec)
+     << ", \"bound_recomputes\": " << r.bound_recomputes
+     << ", \"bound_cache_hits\": " << r.bound_cache_hits
      << "}" << (last ? "\n" : ",\n");
 }
 
@@ -128,6 +137,7 @@ int main(int argc, char** argv) {
   std::string append_path;
   bool quick = false;
   bool large = false;
+  bool xl = false;
   int max_shards = 8;
   std::vector<std::size_t> thread_sweep;
   for (int i = 1; i < argc; ++i) {
@@ -140,6 +150,8 @@ int main(int argc, char** argv) {
       quick = true;  // small macro, shards {1,2}: CI smoke on tiny runners
     } else if (a == "--large") {
       large = true;  // 4096-node point at the top shard count
+    } else if (a == "--xl") {
+      xl = true;  // 16384-node point (2048 under --quick)
     } else if (a == "--shards" && i + 1 < argc) {
       max_shards = std::atoi(argv[++i]);
     } else if (a == "--threads" && i + 1 < argc) {
@@ -158,7 +170,8 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: %s [--label str] [--append BENCH_pdes.json] "
-                   "[--quick] [--large] [--shards K] [--threads T1,T2,...]\n",
+                   "[--quick] [--large] [--xl] [--shards K] "
+                   "[--threads T1,T2,...]\n",
                    argv[0]);
       return 2;
     }
@@ -204,6 +217,24 @@ int main(int argc, char** argv) {
     }
   }
 
+  // The --xl point: the 10k+-host scale the incremental effect-time index
+  // exists for.  16384 nodes with a 10 ms window keeps the wall time in the
+  // same ballpark as the standard macro (round cost is O(changed), so the
+  // window, not the cluster, dominates); under --quick it shrinks to 2048
+  // nodes so the CI perf-smoke job can afford it on tiny runners.
+  std::vector<ShardRun> xl_runs;
+  const int xl_nodes = quick ? 2048 : 16384;
+  if (xl) {
+    for (int shards : {1, top_shards}) {
+      if (shards > max_shards) break;
+      std::fprintf(stderr, "pdes_report: macro_lu%d_s%d...\n", xl_nodes,
+                   shards);
+      xl_runs.push_back(
+          run_macro(shards, /*threads=*/0, xl_nodes, 10_ms, /*reps=*/1));
+      if (top_shards == 1) break;
+    }
+  }
+
   std::ostringstream run;
   run << "    {\n"
       << "      \"label\": \"" << label << "\",\n"
@@ -220,6 +251,7 @@ int main(int argc, char** argv) {
   for (const ShardRun& r : runs) emit_shard_run(run, nodes, r, false);
   for (const ShardRun& r : thread_runs) emit_shard_run(run, nodes, r, false);
   for (const ShardRun& r : large_runs) emit_shard_run(run, 4096, r, false);
+  for (const ShardRun& r : xl_runs) emit_shard_run(run, xl_nodes, r, false);
   const double base_wall = runs.front().wall_s;
   run << "      \"speedup_measured\": {";
   for (std::size_t i = 1; i < runs.size(); ++i) {

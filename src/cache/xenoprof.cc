@@ -88,6 +88,27 @@ void XenoprofSampler::sample() {
     }
     w.last_total = total;
   }
+  // Rates only move here, so this is the one place the per-node pressure
+  // sums need recomputing on the clock; topology changes between samples
+  // invalidate them via the platform version check in node_pressure().
+  rebuild_node_sums();
+}
+
+void XenoprofSampler::rebuild_node_sums() const {
+  node_sums_.assign(platform_->nodes().size(), 0.0);
+  // Identical iteration order to the naive per-node walk (node.vms() order,
+  // null/dom0 skipped), so each cached sum is the bit-for-bit same double
+  // the walk would produce — the rebalancer's tie-breaks cannot drift.
+  for (const auto& node : platform_->nodes()) {
+    double pressure = 0.0;
+    for (const auto& vm : node->vms()) {
+      if (vm == nullptr || vm->is_dom0()) continue;
+      pressure += vm_miss_rate(*vm);
+    }
+    node_sums_[static_cast<std::size_t>(node->index())] = pressure;
+  }
+  sums_topo_version_ = platform_->topology_version();
+  sums_valid_ = true;
 }
 
 std::uint64_t XenoprofSampler::vm_misses(virt::VmId id) const {
@@ -102,13 +123,17 @@ double XenoprofSampler::vm_miss_rate(const virt::Vm& vm) const {
 }
 
 double XenoprofSampler::node_pressure(virt::Node& node) const {
-  double pressure = 0.0;
-  for (const auto& vm : node.vms()) {
-    if (vm == nullptr || vm->is_dom0()) continue;
-    pressure += vm_miss_rate(*vm);
+  // O(1) from the running sums; rebuilt lazily when the resident VM set
+  // changed since they were computed (migration between samples, or a
+  // query before the first sample).  The hysteretic rebalancer calls this
+  // for every host every period — the naive walk made that O(cluster).
+  if (!sums_valid_ ||
+      sums_topo_version_ != platform_->topology_version()) {
+    rebuild_node_sums();
   }
   assert(node.llc_domains() > 0);
-  return pressure / static_cast<double>(node.llc_domains());
+  return node_sums_[static_cast<std::size_t>(node.index())] /
+         static_cast<double>(node.llc_domains());
 }
 
 double XenoprofSampler::miss_rate_per_second() const {

@@ -73,6 +73,9 @@ class XenoprofSampler {
  private:
   void sample();
   std::uint64_t total_now() const;
+  /// Recomputes the per-node pressure sums in the exact order of the naive
+  /// per-node walk (so cached == walked, bit for bit).
+  void rebuild_node_sums() const;
 
   /// Windowed per-VM rate state, indexed by platform-local VmId.
   struct VmWindow {
@@ -85,6 +88,13 @@ class XenoprofSampler {
   sim::SimTime interval_;
   std::vector<Sample> samples_;
   std::vector<VmWindow> windows_;
+  /// Per-node pressure sums (node_pressure's numerator), maintained as a
+  /// running cache: recomputed when rates move (each sample) or the VM
+  /// population changes (Platform::topology_version).  Mutable: lazily
+  /// filled from const queries.
+  mutable std::vector<double> node_sums_;
+  mutable std::uint64_t sums_topo_version_ = 0;
+  mutable bool sums_valid_ = false;
   std::uint64_t baseline_misses_ = 0;
   sim::SimTime baseline_time_ = 0;
   bool started_ = false;

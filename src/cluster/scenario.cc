@@ -58,6 +58,11 @@ class Scenario::ShardExec final : public sim::ShardExecutor {
   void deliver_inbound(sim::SimTime watermark) override {
     fabric_->deliver_to(id_, watermark);
   }
+  BoundCounters bound_counters() const override {
+    const auto& bs = net_->engine().bound_stats();
+    return {bs.recomputes, bs.cache_hits};
+  }
+
   std::uint64_t advance_to(sim::SimTime horizon) override {
     // Interleave execution with sealed-packet delivery: a packet due at d
     // is handed to the network only once every local event at or before d
@@ -112,6 +117,16 @@ Scenario::Scenario(ScenarioConfig config) : config_(config) {
     pc.node_id_offset = first;
     stack->platform =
         std::make_unique<virt::Platform>(stack->simulation, pc);
+    // Unsharded runs never query the effect bound (run_for takes the
+    // legacy single-simulation path), so its bookkeeping is pure overhead
+    // on the timer hot path — gate the index off entirely unless a test
+    // forces it on to query the bound directly.
+    virt::Engine& eng = stack->platform->engine();
+    if (shards == 1 && !config_.force_effect_tracking) {
+      eng.set_effect_tracking(false);
+    }
+    eng.set_reference_bound(config_.reference_effect_bound);
+    eng.set_differential_check(config_.effect_differential_check);
     stack->network = std::make_unique<net::VirtualNetwork>(*stack->platform);
     stack->network->attach();
     stack->monitor = std::make_unique<sync::PeriodMonitor>(*stack->platform);

@@ -56,6 +56,16 @@ struct ScenarioConfig {
   int shards = 1;
   /// Worker threads for the shard group; 0 = min(shards, hardware).
   std::size_t shard_threads = 0;
+  /// Keep the engine's effect-time index maintained even at shards == 1,
+  /// where nothing queries it and it is normally gated off.  The
+  /// differential property test forces it on to query the bound directly.
+  bool force_effect_tracking = false;
+  /// Answer bound queries with the preserved full-scan reference
+  /// implementation instead of the incremental index (A/B identity runs).
+  bool reference_effect_bound = false;
+  /// Compute both implementations at every bound query and abort on any
+  /// mismatch (differential property testing).
+  bool effect_differential_check = false;
 };
 
 class Scenario {
@@ -308,6 +318,19 @@ class ScenarioBuilder {
   /// Permits vcpus_per_vm > pcpus_per_node (wide-VM overcommit).
   ScenarioBuilder& allow_wide_vms() {
     allow_wide_vms_ = true;
+    return *this;
+  }
+  /// Test hooks for the effect-bound implementations (see ScenarioConfig).
+  ScenarioBuilder& force_effect_tracking() {
+    config_.force_effect_tracking = true;
+    return *this;
+  }
+  ScenarioBuilder& reference_effect_bound() {
+    config_.reference_effect_bound = true;
+    return *this;
+  }
+  ScenarioBuilder& effect_differential_check() {
+    config_.effect_differential_check = true;
     return *this;
   }
   /// build() attaches a trace sink with `cfg` before returning.

@@ -411,6 +411,7 @@ void VirtualNetwork::send(virt::Vm& src, virt::Vm& dst, std::uint64_t bytes,
   assert(attached_);
   counters_.packets += 1;
   counters_.bytes += bytes;
+  platform_->mark_period_activity(src);
   src.period().io_events += 1;  // tx side counts toward the VM's I/O rate
   src.totals().io_events += 1;
   ATCSIM_TRACE(simulation().trace(),
@@ -466,6 +467,7 @@ void VirtualNetwork::send_out(virt::Vm& src, std::uint64_t bytes,
   assert(attached_);
   counters_.packets += 1;
   counters_.bytes += bytes;
+  platform_->mark_period_activity(src);
   src.period().io_events += 1;
   src.totals().io_events += 1;
   ATCSIM_TRACE(simulation().trace(),

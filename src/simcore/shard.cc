@@ -403,6 +403,15 @@ std::uint64_t ShardGroup::run_until(SimTime deadline) {
     slots_[s].horizon = deadline;
     after += slots_[s].executed;
   }
+  // Snapshot (not accumulate: the executors' counters are cumulative) the
+  // incremental-bound cache effectiveness for reporting.
+  stats_.bound_recomputes = 0;
+  stats_.bound_cache_hits = 0;
+  for (const ShardExecutor* shard : shards_) {
+    const auto bc = shard->bound_counters();
+    stats_.bound_recomputes += bc.recomputes;
+    stats_.bound_cache_hits += bc.cache_hits;
+  }
   return after - before;
 }
 

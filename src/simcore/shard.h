@@ -109,6 +109,17 @@ class ShardExecutor {
   /// messages up front would instead tie same-timestamp ordering (and the
   /// merged trace) to the round structure.
   virtual std::uint64_t advance_to(SimTime horizon) = 0;
+
+  /// Cumulative effect-bound cache effectiveness of this shard's model
+  /// (per-VM bound derivations performed vs. served from cache across all
+  /// earliest_output_time calls so far).  Purely observational — reported
+  /// through ShardGroup::Stats for bench output; the zero default suits
+  /// executors without an incremental bound.
+  struct BoundCounters {
+    std::uint64_t recomputes = 0;
+    std::uint64_t cache_hits = 0;
+  };
+  virtual BoundCounters bound_counters() const { return {}; }
 };
 
 /// Runs a set of ShardExecutors under the fused round protocol above, on a
@@ -161,12 +172,17 @@ class ShardGroup {
   /// coordinator's join-wait time (fork-join overhead + imbalance);
   /// `horizon_extensions` counts per-shard horizon assignments that
   /// exceeded the classic global bound.
+  /// `bound_recomputes` / `bound_cache_hits` snapshot the executors'
+  /// cumulative incremental-bound counters (summed across shards) at the
+  /// end of each run_until.
   struct Stats {
     std::uint64_t rounds = 0;
     std::uint64_t horizon_extensions = 0;
     double critical_s = 0.0;
     double serial_s = 0.0;
     double barrier_wait_s = 0.0;
+    std::uint64_t bound_recomputes = 0;
+    std::uint64_t bound_cache_hits = 0;
   };
 
   ShardGroup(std::vector<ShardExecutor*> shards, Options options);

@@ -121,6 +121,8 @@ class PeriodMonitor {
   std::vector<virt::Vm::PeriodStats> last_;
   std::shared_ptr<SubscriberList> subscribers_;
   std::vector<std::uint64_t> sweep_ids_;  // reused per sample() sweep
+  std::vector<virt::VmId> ring_scratch_;  // swapped with the platform ring
+  std::vector<virt::VmId> prev_active_;   // sampled last period; may go idle
   std::uint64_t next_sub_id_ = 1;
   std::uint64_t periods_ = 0;
   bool started_ = false;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
 #include <functional>
 
 #include "obs/trace.h"
@@ -112,6 +114,7 @@ void Engine::dispatch(Pcpu& p) {
   v->set_state(VcpuState::kRunning);
   v->eng().on_pcpu = &p;
   Vm& vm = v->vm();
+  mark_effect(vm);
   const ModelParams& mp = params();
 
   // Context-switch + cache-refill costs.  The direct switch cost and the
@@ -137,6 +140,7 @@ void Engine::dispatch(Pcpu& p) {
                           static_cast<double>(mp.cache_refill_penalty);
     const auto misses = static_cast<std::uint64_t>(
         static_cast<double>(mp.llc_misses_per_refill) * refill_frac);
+    platform_->mark_period_activity(vm);
     vm.period().ctx_switches += 1;
     vm.totals().ctx_switches += 1;
     vm.period().llc_misses += misses;
@@ -171,6 +175,7 @@ void Engine::dispatch(Pcpu& p) {
 void Engine::run_current(Pcpu& p) {
   Vcpu* v = p.current();
   assert(v != nullptr && v->running());
+  mark_effect(v->vm());  // next() advances the workload's effect distance
   const SimTime now = sim_->now();
   auto& e = v->eng();
   for (;;) {
@@ -199,6 +204,10 @@ void Engine::run_current(Pcpu& p) {
         if (!e.in_spin_episode) {
           e.in_spin_episode = true;
           e.spin_episode_start = now;
+          // The monitor must visit this VM even if the episode spans the
+          // whole period without finishing (in-flight spins are folded at
+          // each boundary).
+          platform_->mark_period_activity(v->vm());
           ATCSIM_TRACE(sim_->trace(),
                        vcpu_event(now, obs::TraceCat::kSync,
                                   obs::ev::kSpinStart, *v));
@@ -251,6 +260,9 @@ void Engine::slice_expired(Pcpu& p) {
 }
 
 void Engine::account_segment(Pcpu& /*p*/, Vcpu& v) {
+  // Marked even when nothing elapsed: every leave_cpu path runs through
+  // here, and the state transition that follows moves the bound inputs.
+  mark_effect(v.vm());
   const SimTime now = sim_->now();
   auto& e = v.eng();
   const SimTime elapsed = now - e.segment_start;
@@ -264,6 +276,7 @@ void Engine::account_segment(Pcpu& /*p*/, Vcpu& v) {
     if (e.compute_left < 0) e.compute_left = 0;
   } else if (e.action.kind == Action::Kind::kSpinWait) {
     v.mutable_totals().spin_cpu += elapsed;
+    platform_->mark_period_activity(vm);
     vm.period().spin_cpu += elapsed;
     vm.totals().spin_cpu += elapsed;
   }
@@ -280,6 +293,7 @@ void Engine::leave_cpu(Pcpu& p, LeaveReason reason) {
   const SimTime stint = now - e.stint_start;
   e.last_stint = stint;
   Vm& vm = v->vm();
+  platform_->mark_period_activity(vm);
   vm.period().run_time += stint;
   vm.totals().run_time += stint;
   v->mutable_totals().run += stint;
@@ -320,6 +334,7 @@ void Engine::end_spin_episode(Vcpu& v) {
   ATCSIM_TRACE(sim_->trace(), vcpu_event(sim_->now(), obs::TraceCat::kSync,
                                          obs::ev::kSpinEnd, v, wall));
   Vm& vm = v.vm();
+  platform_->mark_period_activity(vm);
   vm.period().spin_wall += wall;
   vm.period().spin_episodes += 1;
   vm.totals().spin_wall += wall;
@@ -327,6 +342,8 @@ void Engine::end_spin_episode(Vcpu& v) {
 }
 
 void Engine::deposit(Vm& vm, sim::InlineCallback handler) {
+  mark_effect(vm);  // handlers mutate the VM's workload state
+  platform_->mark_period_activity(vm);
   vm.period().io_events += 1;
   vm.totals().io_events += 1;
   if (vm.any_running()) {
@@ -357,40 +374,101 @@ void Engine::drain_mailbox(Vm& vm) {
   }
 }
 
+namespace {
+
+/// kTimeNever-absorbing addition (both operands are non-negative times).
+sim::SimTime sat_add(sim::SimTime a, sim::SimTime b) {
+  if (a >= sim::kTimeNever - b) return sim::kTimeNever;
+  return a + b;
+}
+
+}  // namespace
+
 void Engine::signal_in(SyncEvent& ev, sim::SimTime delay, Vm* owner) {
-  prune_effect_entries();
-  effect_entries_.push_back({sim_->now() + delay, &ev});
+  const SimTime fire = sim_->now() + delay;
+  if (effect_tracking_) {
+    assert(ev.effect_pending_at() == 0 &&
+           "one pending signal_in per event: re-arm only after firing");
+    ev.set_effect_pending(fire);
+    // No node while the waiter set is empty (an empty-waiter entry
+    // contributes nothing); the first add_waiter re-keys and pushes.
+    // Travelled timers re-armed by adopt_and_resume hit the non-empty case:
+    // their waiters stayed registered across the migration.
+    if (!ev.waiters().empty()) push_effect_node(ev, fire);
+  }
   SyncEvent* evp = &ev;
   const sim::EventId id = sim_->call_in(delay, [evp] { evp->signal(); });
   if (owner != nullptr) {
     prune_owned_timers();
-    owned_timers_.push_back({owner, &ev, sim_->now() + delay, id});
+    owned_timers_.push_back({owner, &ev, fire, id});
   }
 }
 
 void Engine::note_effect_at(sim::SimTime when) {
-  prune_effect_entries();
-  effect_entries_.push_back({when, nullptr});
+  if (!effect_tracking_) return;
+  prune_effect_heap();
+  effect_heap_.push_back({when, when, nullptr, 0});
+  std::push_heap(effect_heap_.begin(), effect_heap_.end(),
+                 [](const EffectNode& a, const EffectNode& b) {
+                   return a.key > b.key;
+                 });
 }
 
-void Engine::prune_effect_entries() {
-  // Amortized stale-entry sweep for runs that never call
-  // earliest_effect_time (unsharded scenarios): without it the vector
-  // grows by one per registered timer forever.  The doubling threshold
-  // keeps the amortized cost O(1) per registration and the vector within
-  // 2x its live population.
-  if (effect_entries_.size() < effect_prune_threshold_) return;
+void Engine::on_effect_event_changed(SyncEvent& ev) {
+  const SimTime when = ev.effect_pending_at();
+  assert(when != 0 && "notified with no pending timer");
+  // Invalidate the current node unconditionally: add_waiter can *lower*
+  // the true key below the stored one, where lazy top-validation alone
+  // would never look.
+  ev.bump_effect_seq();
+  // An entry at or behind the clock contributes nothing (the firing is
+  // already in flight this instant); neither does one nobody waits on.
+  if (when <= sim_->now() || ev.waiters().empty()) return;
+  push_effect_node(ev, when);
+}
+
+void Engine::push_effect_node(SyncEvent& ev, sim::SimTime when) {
+  SimTime dist = sim::kTimeNever;
+  for (const Vcpu* w : ev.waiters()) {
+    const Workload* wl = w->workload();
+    dist = std::min(dist, wl != nullptr ? wl->effect_distance()
+                                        : sim::SimTime{0});
+  }
+  const SimTime key = sat_add(when, dist);
+  if (key == sim::kTimeNever) return;  // contributes nothing; skip the node
+  prune_effect_heap();
+  effect_heap_.push_back({key, when, &ev, ev.effect_seq()});
+  std::push_heap(effect_heap_.begin(), effect_heap_.end(),
+                 [](const EffectNode& a, const EffectNode& b) {
+                   return a.key > b.key;
+                 });
+}
+
+void Engine::prune_effect_heap() {
+  // Amortized dead-node sweep: the lazy readers only discard at the top /
+  // on iteration, so without this a long run could accrete dead nodes
+  // below live ones.  The doubling threshold keeps the amortized cost O(1)
+  // per push and the heap within 2x its live population; capacity is
+  // retained.
+  if (effect_heap_.size() < effect_prune_threshold_) return;
   const sim::SimTime now = sim_->now();
-  for (std::size_t i = 0; i < effect_entries_.size();) {
-    if (effect_entries_[i].when <= now) {
-      effect_entries_[i] = effect_entries_.back();
-      effect_entries_.pop_back();
+  for (std::size_t i = 0; i < effect_heap_.size();) {
+    const EffectNode& n = effect_heap_[i];
+    const bool dead =
+        n.when <= now || (n.ev != nullptr && n.seq != n.ev->effect_seq());
+    if (dead) {
+      effect_heap_[i] = effect_heap_.back();
+      effect_heap_.pop_back();
     } else {
       ++i;
     }
   }
-  effect_prune_threshold_ = std::max<std::size_t>(
-      kEffectPruneFloor, effect_entries_.size() * 2);
+  std::make_heap(effect_heap_.begin(), effect_heap_.end(),
+                 [](const EffectNode& a, const EffectNode& b) {
+                   return a.key > b.key;
+                 });
+  effect_prune_threshold_ =
+      std::max<std::size_t>(kEffectPruneFloor, effect_heap_.size() * 2);
 }
 
 void Engine::prune_owned_timers() {
@@ -408,17 +486,153 @@ void Engine::prune_owned_timers() {
   }
 }
 
-namespace {
-
-/// kTimeNever-absorbing addition (both operands are non-negative times).
-sim::SimTime sat_add(sim::SimTime a, sim::SimTime b) {
-  if (a >= sim::kTimeNever - b) return sim::kTimeNever;
-  return a + b;
+sim::SimTime Engine::earliest_effect_time() {
+  assert(effect_tracking_ &&
+         "bound query with the effect index disabled (unsharded gating)");
+  if (differential_check_) {
+    const SimTime inc = earliest_effect_time_incremental();
+    const SimTime ref = earliest_effect_time_reference();
+    if (inc != ref) {
+      std::fprintf(stderr,
+                   "earliest_effect_time mismatch at t=%lld: "
+                   "incremental=%lld reference=%lld\n",
+                   static_cast<long long>(sim_->now()),
+                   static_cast<long long>(inc), static_cast<long long>(ref));
+      std::abort();
+    }
+    return inc;
+  }
+  if (reference_bound_) return earliest_effect_time_reference();
+  return earliest_effect_time_incremental();
 }
 
-}  // namespace
+sim::SimTime Engine::earliest_effect_time_incremental() {
+  const SimTime now = sim_->now();
+  if (deposits_pending_ > 0) return now;  // queued handlers may send at the
+                                          // owning VM's next dispatch
+  // Pending timers: the heap top, once dead generations (clock passed, or
+  // the event's sequence moved on) are discarded.  Live nodes always carry
+  // a current key — any waiter-set change re-pushed them.
+  const auto greater = [](const EffectNode& a, const EffectNode& b) {
+    return a.key > b.key;
+  };
+  while (!effect_heap_.empty()) {
+    const EffectNode& top = effect_heap_.front();
+    const bool dead = top.when <= now ||
+                      (top.ev != nullptr && top.seq != top.ev->effect_seq());
+    if (!dead) break;
+    std::pop_heap(effect_heap_.begin(), effect_heap_.end(), greater);
+    effect_heap_.pop_back();
+  }
+  SimTime bound = effect_heap_.empty() ? sim::kTimeNever
+                                       : effect_heap_.front().key;
+  // VCPU side: re-derive only the VMs an event has touched since the last
+  // query, then read the fold root.
+  refresh_dirty_vms();
+  if (fold_cap_ > 0) {
+    const BoundPair& root = fold_tree_[1];
+    bound = std::min(bound, std::min(root.abs, sat_add(now, root.rel)));
+  }
+  return bound;
+}
 
-sim::SimTime Engine::earliest_effect_time() {
+Engine::BoundPair Engine::vm_bound_pair(const Vm& vm) const {
+  // One VM's slice of the reference per-VCPU scan, with the query time
+  // factored out: `rel` terms are added to `now` at the root read.  The
+  // split is exact — sat_add(now + x, d) == sat_add(now, sat_add(x, d))
+  // for non-negative operands, on both sides of the saturation point.
+  BoundPair bp;
+  for (const auto& v : vm.vcpus()) {
+    const auto& e = v->eng();
+    const VcpuState st = v->state();
+    if (st == VcpuState::kDone || st == VcpuState::kBlocked) continue;
+    const Workload* wl = v->workload();
+    const SimTime dist =
+        wl != nullptr ? wl->effect_distance() : sim::SimTime{0};
+    if (e.action_valid && e.action.kind == Action::Kind::kCompute) {
+      if (st == VcpuState::kRunning) {
+        bp.abs = std::min(
+            bp.abs,
+            sat_add(e.segment_start + e.cache_debt + e.compute_left, dist));
+      } else {
+        bp.rel = std::min(bp.rel,
+                          sat_add(e.cache_debt + e.compute_left, dist));
+      }
+      continue;
+    }
+    if (e.action_valid &&
+        (e.action.kind == Action::Kind::kSpinWait ||
+         e.action.kind == Action::Kind::kBlockWait) &&
+        !e.action.event->signalled()) {
+      continue;
+    }
+    bp.rel = std::min(bp.rel, dist);
+  }
+  return bp;
+}
+
+void Engine::ensure_fold_capacity(std::size_t slots) {
+  if (slots <= fold_cap_ && fold_cap_ > 0) return;
+  std::size_t cap = fold_cap_ > 0 ? fold_cap_ : 1;
+  while (cap < slots) cap *= 2;
+  std::vector<BoundPair> tree(2 * cap);
+  for (std::size_t i = 0; i < fold_synced_; ++i) {
+    tree[cap + i] = fold_tree_[fold_cap_ + i];
+  }
+  for (std::size_t i = cap; i-- > 1;) {
+    tree[i].abs = std::min(tree[2 * i].abs, tree[2 * i + 1].abs);
+    tree[i].rel = std::min(tree[2 * i].rel, tree[2 * i + 1].rel);
+  }
+  fold_tree_.swap(tree);
+  fold_cap_ = cap;
+}
+
+void Engine::update_fold_leaf(std::size_t slot, BoundPair bp) {
+  std::size_t i = fold_cap_ + slot;
+  if (fold_tree_[i] == bp) return;
+  fold_tree_[i] = bp;
+  for (i /= 2; i >= 1; i /= 2) {
+    const BoundPair merged{
+        std::min(fold_tree_[2 * i].abs, fold_tree_[2 * i + 1].abs),
+        std::min(fold_tree_[2 * i].rel, fold_tree_[2 * i + 1].rel)};
+    if (fold_tree_[i] == merged) return;  // ancestors unchanged too
+    fold_tree_[i] = merged;
+  }
+}
+
+void Engine::refresh_dirty_vms() {
+  const std::size_t total = platform_->vm_count();
+  ensure_fold_capacity(total);
+  std::uint64_t recomputed = 0;
+  // VMs created or adopted since the last query occupy the id-space tail;
+  // sweep them in without needing a creation-time hook.
+  for (std::size_t i = fold_synced_; i < total; ++i) {
+    Vm* vm = platform_->vm_ptr(VmId{static_cast<std::int32_t>(i)});
+    if (vm != nullptr) {
+      vm->set_effect_bound_dirty(false);
+      update_fold_leaf(i, vm_bound_pair(*vm));
+    } else {
+      update_fold_leaf(i, BoundPair{});
+    }
+    ++recomputed;
+  }
+  fold_synced_ = total;
+  for (const VmId id : effect_dirty_) {
+    Vm* vm = platform_->vm_ptr(id);
+    // Null: expelled since marking (its leaf was tombstoned then).  Clean
+    // flag: already re-derived by the tail sweep above.
+    if (vm == nullptr || !vm->effect_bound_dirty()) continue;
+    vm->set_effect_bound_dirty(false);
+    update_fold_leaf(static_cast<std::size_t>(id.index()),
+                     vm_bound_pair(*vm));
+    ++recomputed;
+  }
+  effect_dirty_.clear();
+  bound_stats_.recomputes += recomputed;
+  bound_stats_.cache_hits += total > recomputed ? total - recomputed : 0;
+}
+
+sim::SimTime Engine::earliest_effect_time_reference() {
   const SimTime now = sim_->now();
   if (deposits_pending_ > 0) return now;  // queued handlers may send at the
                                           // owning VM's next dispatch
@@ -429,25 +643,23 @@ sim::SimTime Engine::earliest_effect_time() {
   // event has no registered waiters is dropped: any VCPU that waits on it
   // later reaches that wait through next() calls its own per-VCPU bound
   // below already covers (distance scans continue through wait steps).
-  for (std::size_t i = 0; i < effect_entries_.size();) {
-    const EffectEntry& entry = effect_entries_[i];
-    if (entry.when <= now) {  // fired; prune (order is irrelevant to a min)
-      effect_entries_[i] = effect_entries_.back();
-      effect_entries_.pop_back();
-      continue;
-    }
+  // The store is shared with the incremental heap; this scan is
+  // order-agnostic (a min) and skips dead generations without pruning.
+  for (const EffectNode& entry : effect_heap_) {
+    if (entry.when <= now) continue;  // fired
     if (entry.ev == nullptr) {
       bound = std::min(bound, entry.when);
-    } else if (!entry.ev->waiters().empty()) {
-      SimTime dist = sim::kTimeNever;
-      for (const Vcpu* w : entry.ev->waiters()) {
-        const Workload* wl = w->workload();
-        dist = std::min(dist, wl != nullptr ? wl->effect_distance()
-                                            : sim::SimTime{0});
-      }
-      bound = std::min(bound, sat_add(entry.when, dist));
+      continue;
     }
-    ++i;
+    if (entry.seq != entry.ev->effect_seq()) continue;  // stale generation
+    if (entry.ev->waiters().empty()) continue;
+    SimTime dist = sim::kTimeNever;
+    for (const Vcpu* w : entry.ev->waiters()) {
+      const Workload* wl = w->workload();
+      dist = std::min(dist, wl != nullptr ? wl->effect_distance()
+                                          : sim::SimTime{0});
+    }
+    bound = std::min(bound, sat_add(entry.when, dist));
   }
   for (auto& node : platform_->nodes()) {
     for (auto& vm : node->vms()) {
@@ -546,6 +758,11 @@ std::unique_ptr<MigrationBundle> Engine::pause_and_expel(
     if (t.owner == &vm) {
       if (sim_->cancel(t.id)) {
         bundle->timers.push_back({t.ev, t.fire - now});
+        // The cancelled firing leaves this engine's effect index: the event
+        // travels, and re-arming on the destination makes a fresh entry
+        // there.  The sequence bump also stops the destination's later
+        // activity from resurrecting our stale heap node.
+        t.ev->clear_effect_pending();
       }
       owned_timers_[i] = owned_timers_.back();
       owned_timers_.pop_back();
@@ -572,6 +789,12 @@ std::unique_ptr<MigrationBundle> Engine::pause_and_expel(
     return e;
   }());
 
+  // The slot becomes a tombstone; its cached bound must stop contributing
+  // (slots past fold_synced_ are swept as null at the next query anyway).
+  const auto slot = static_cast<std::size_t>(vm.id().index());
+  if (effect_tracking_ && slot < fold_synced_) {
+    update_fold_leaf(slot, BoundPair{});
+  }
   bundle->vm = platform_->expel_vm(vm);
   assert(bundle->vm != nullptr);
   return bundle;
@@ -584,6 +807,11 @@ Vm& Engine::adopt_and_resume(MigrationBundle& bundle, NodeId dest_node) {
   Node& node = vm.node();
   assert(node.scheduler().supports_migration());
   node.scheduler().vm_arrived(vm);
+  // The dirty flag may still be set from the source engine's ring (that
+  // entry now resolves to a tombstone there); clear it so this engine's
+  // mark actually enrolls the VM in *its* ring.
+  vm.set_effect_bound_dirty(false);
+  mark_effect(vm);
 
   // Queued mail re-enters this engine's pending-deposit accounting.
   deposits_pending_ += vm.mailbox().size();
@@ -651,9 +879,11 @@ Vm& Engine::adopt_and_resume(MigrationBundle& bundle, NodeId dest_node) {
 
 void Engine::wake(Vcpu& v) {
   if (v.state() != VcpuState::kBlocked) return;
+  mark_effect(v.vm());
   v.set_state(VcpuState::kRunnable);
   ATCSIM_TRACE(sim_->trace(), vcpu_event(sim_->now(), obs::TraceCat::kVcpu,
                                          obs::ev::kWake, v));
+  platform_->mark_period_activity(v.vm());
   v.vm().period().wakeups += 1;
   Node& node = v.vm().node();
   Scheduler& s = node.scheduler();
@@ -694,6 +924,7 @@ void Engine::request_resched(Pcpu& p) {
 void Engine::on_signalled(const std::vector<Vcpu*>& waiters) {
   for (Vcpu* v : waiters) {
     auto& e = v->eng();
+    mark_effect(v->vm());  // the wait this VCPU was parked on is gone
     e.wait_registered = false;
     switch (v->state()) {
       case VcpuState::kBlocked:

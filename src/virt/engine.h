@@ -70,6 +70,11 @@ class Engine {
   /// effect_distance, so the caller should block on `ev` within the same
   /// event (both signal_in users do).
   ///
+  /// Contracts the effect index relies on (both asserted where cheap):
+  /// at most one signal_in may be pending per event (re-arm only after the
+  /// previous firing), and a registered waiter's effect_distance is stable
+  /// while it waits (a workload's program counter only advances in next()).
+  ///
   /// `owner` (optional) attributes the pending timer to a VM: a migratable
   /// workload passes its own VM so pause_and_expel can cancel the firing and
   /// carry the remaining delay to the destination engine.  Timers with no
@@ -78,8 +83,42 @@ class Engine {
   void signal_in(SyncEvent& ev, sim::SimTime delay, Vm* owner = nullptr);
 
   /// Records that a registered timer may act on the network at `when`
-  /// (absolute).  Cheap: one push into a lazily-pruned vector.
+  /// (absolute).  Cheap: one lazily-pruned min-heap push.
   void note_effect_at(sim::SimTime when);
+
+  /// SyncEvent plumbing: `ev`'s waiter set changed while a signal_in timer
+  /// on it is pending, so the pending entry's key (fire time plus minimum
+  /// waiter effect_distance) must be re-derived.  The old heap node is
+  /// invalidated by sequence bump and a fresh node pushed — a lowered key
+  /// could otherwise hide below a stale heap top.
+  void on_effect_event_changed(SyncEvent& ev);
+
+  /// Enables/disables the effect-time index.  Unsharded scenarios turn it
+  /// off (nothing ever asks for the bound there), which removes the index
+  /// bookkeeping from the timer hot path entirely; defaults to on so
+  /// direct-Platform users and tests keep the full contract.  Flip only
+  /// before Engine::start().
+  void set_effect_tracking(bool on) { effect_tracking_ = on; }
+  bool effect_tracking() const { return effect_tracking_; }
+
+  /// Diagnostics: answer bound queries with the preserved full-scan
+  /// reference implementation instead of the incremental index (for
+  /// byte-identity A/B runs), or compute both and abort on any mismatch
+  /// (the differential property test).  Exactness, not conservatism, is the
+  /// contract: the index changes when bounds are computed, never their
+  /// values.
+  void set_reference_bound(bool on) { reference_bound_ = on; }
+  void set_differential_check(bool on) { differential_check_ = on; }
+
+  /// Incremental-bound cache effectiveness, for bench/report plumbing:
+  /// `recomputes` counts per-VM bound derivations actually performed at
+  /// queries, `cache_hits` counts VM bounds served from the fold tree
+  /// without recomputation.
+  struct BoundStats {
+    std::uint64_t recomputes = 0;
+    std::uint64_t cache_hits = 0;
+  };
+  const BoundStats& bound_stats() const { return bound_stats_; }
 
   /// Event-channel mail queued in VM mailboxes (handlers that will run at
   /// the owning VM's next dispatch).
@@ -95,7 +134,17 @@ class Engine {
   /// (VirtualNetwork::packets_in_flight), since their completion events
   /// deposit mail this scan never sees.  Call only while the simulation is
   /// at rest (between PDES phases), never from inside an event.
+  ///
+  /// Cost is O(dirty) per call, not O(cluster): per-VM bounds are cached in
+  /// a tournament tree and only VMs touched by an event since the previous
+  /// query are re-derived; the timer side reads a lazy min-heap top.  See
+  /// DESIGN.md §10.  Requires effect tracking enabled.
   sim::SimTime earliest_effect_time();
+
+  /// The preserved pre-index implementation: a full walk of every pending
+  /// timer and every VCPU, kept (like sched::LinearRunQueues) as the
+  /// differential oracle the incremental index must match value-for-value.
+  sim::SimTime earliest_effect_time_reference();
 
   /// Total context switches executed platform-wide.
   std::uint64_t total_switches() const { return total_switches_; }
@@ -131,26 +180,85 @@ class Engine {
   void drain_mailbox(Vm& vm);
   void schedule_dispatch(Pcpu& p);
 
+  /// Flags `vm`'s cached effect bound stale: the VM joins the dirty ring
+  /// and is re-derived at the next bound query.  Every engine-owned
+  /// transition that can move a bound input (dispatch/preempt, segment
+  /// accounting, block/wake, workload next(), deposits, migration) calls
+  /// this; with tracking off it is a single predicted-not-taken branch.
+  void mark_effect(Vm& vm) {
+    if (!effect_tracking_ || vm.effect_bound_dirty()) return;
+    vm.set_effect_bound_dirty(true);
+    effect_dirty_.push_back(vm.id());
+  }
+
   sim::Simulation* sim_;
   Platform* platform_;
   bool started_ = false;
+  bool effect_tracking_ = true;
+  bool reference_bound_ = false;
+  bool differential_check_ = false;
   std::uint64_t total_switches_ = 0;
   std::size_t deposits_pending_ = 0;
+
   /// A registered timer that can lead guest code back to the network: fires
   /// at `when`, waking `ev`'s waiters (nullptr: a direct injection at
-  /// `when`, e.g. an open-loop client's next arrival).
-  struct EffectEntry {
+  /// `when`, e.g. an open-loop client's next arrival).  `key` is the
+  /// entry's bound contribution — `when` plus the minimum waiter
+  /// effect_distance, saturated — frozen at push time; `seq` ties an event
+  /// node to the arming generation it was pushed under.
+  struct EffectNode {
+    sim::SimTime key = 0;
     sim::SimTime when = 0;
     SyncEvent* ev = nullptr;
+    std::uint32_t seq = 0;
   };
-  /// Unordered; entries are swap-removed lazily in earliest_effect_time
-  /// once they fall at or behind the clock, and by prune_effect_entries
-  /// (amortized, on registration) so runs that never ask for the bound
-  /// don't grow the vector forever.  Capacity is retained, so the steady
-  /// state of a timer-driven workload allocates nothing after warm-up.
-  std::vector<EffectEntry> effect_entries_;
+  /// Min-heap on `key` (O(log n) push, O(1) min) *and* the entry registry
+  /// the reference scan iterates linearly.  Nodes die in place — the clock
+  /// passes `when`, or the event's sequence moves on (signal fired, waiter
+  /// set changed, migration cancelled the timer) — and are discarded
+  /// lazily: at the top by the incremental reader, anywhere by the
+  /// amortized doubling-threshold prune on push.  Capacity is retained, so
+  /// a timer-driven steady state allocates nothing after warm-up.
+  std::vector<EffectNode> effect_heap_;
   static constexpr std::size_t kEffectPruneFloor = 16;
   std::size_t effect_prune_threshold_ = kEffectPruneFloor;
+
+  /// One VM's cached contribution to the engine bound, split so it can be
+  /// folded without knowing the query time: `abs` collects absolute terms
+  /// (a running segment's start + debt + left, plus distance), `rel`
+  /// collects now-relative terms (a runnable VCPU's debt + left + distance;
+  /// a dispatchable VCPU's bare distance).  The engine bound of a fold is
+  /// min(abs, now + rel), saturated — min distributes through the monotone
+  /// add, so folding pairs component-wise is exact, not just conservative.
+  struct BoundPair {
+    sim::SimTime abs = sim::kTimeNever;
+    sim::SimTime rel = sim::kTimeNever;
+    bool operator==(const BoundPair& o) const {
+      return abs == o.abs && rel == o.rel;
+    }
+  };
+  /// Flat binary tournament tree over VM id slots: leaves at
+  /// [fold_cap_, fold_cap_ + slots), root at [1], component-wise pair mins
+  /// inside.  Leaf updates climb only while the parent changes; the query
+  /// reads the root.  Tombstone slots hold {kTimeNever, kTimeNever}.
+  std::vector<BoundPair> fold_tree_;
+  std::size_t fold_cap_ = 0;
+  /// VM id slots already incorporated into the fold tree; slots at or past
+  /// this (VMs created or adopted since the last query) are swept in at the
+  /// next query, so no creation-time hook is needed.
+  std::size_t fold_synced_ = 0;
+  /// Ids whose cached BoundPair is stale (flag lives on the Vm).  Entries
+  /// for since-expelled VMs resolve to null and are skipped.
+  std::vector<VmId> effect_dirty_;
+  BoundStats bound_stats_;
+
+  BoundPair vm_bound_pair(const Vm& vm) const;
+  void ensure_fold_capacity(std::size_t slots);
+  void update_fold_leaf(std::size_t slot, BoundPair bp);
+  void refresh_dirty_vms();
+  void push_effect_node(SyncEvent& ev, sim::SimTime when);
+  void prune_effect_heap();
+  sim::SimTime earliest_effect_time_incremental();
 
   /// VM-owned pending workload timers (signal_in with an owner): enough to
   /// cancel and re-home them when the owner migrates.  Fired entries are
@@ -164,7 +272,6 @@ class Engine {
   };
   std::vector<OwnedTimer> owned_timers_;
 
-  void prune_effect_entries();
   void prune_owned_timers();
 };
 

@@ -78,6 +78,7 @@ Vm& Platform::create_vm(NodeId node_id, VmType type, const std::string& name,
   }
   vms_.push_back(vm.get());
   node.vms().push_back(std::move(vm));
+  ++topology_version_;
   return *vms_.back();
 }
 
@@ -103,6 +104,7 @@ std::unique_ptr<Vm> Platform::expel_vm(Vm& vm) {
     assert(vcpus_[v->id().index()] == v.get());
     vcpus_[v->id().index()] = nullptr;
   }
+  ++topology_version_;
   // Extract ownership but keep the (now null) slot, so sibling VMs keep
   // their node-local positions and the scheduler's dense per-VM indices.
   for (auto& slot : node.vms()) {
@@ -126,7 +128,14 @@ Vm& Platform::adopt_vm(NodeId node_id, std::unique_ptr<Vm> vm) {
   }
   vms_.push_back(vm.get());
   node.vms().push_back(std::move(vm));
-  return *vms_.back();
+  ++topology_version_;
+  // The travelled flag belongs to the source platform's ring (that entry
+  // now resolves to a tombstone there); re-enroll under the fresh id so the
+  // destination monitor folds any mid-period stats the VM carried over.
+  Vm& adopted = *vms_.back();
+  adopted.set_period_dirty(false);
+  mark_period_activity(adopted);
+  return adopted;
 }
 
 }  // namespace atcsim::virt

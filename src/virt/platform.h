@@ -109,6 +109,25 @@ class Platform {
   /// order (skips migration tombstones).
   std::vector<Vm*> guest_vms() const;
 
+  /// Bumped whenever the resident VM set changes (create/expel/adopt).
+  /// Control-plane caches keyed on the VM population (the xenoprof
+  /// per-node pressure sums) invalidate against this instead of hooking
+  /// every mutation site.
+  std::uint64_t topology_version() const { return topology_version_; }
+
+  // --- period-activity dirty ring ----------------------------------------
+  /// Flags `vm` as having written a per-period accumulator since the last
+  /// monitor sweep; PeriodMonitor::sample visits only ringed VMs instead of
+  /// walking every id slot.  O(1), idempotent within a period.
+  void mark_period_activity(Vm& vm) {
+    if (vm.period_dirty()) return;
+    vm.set_period_dirty(true);
+    period_dirty_.push_back(vm.id());
+  }
+  /// The ring itself; the monitor swaps it empty at each sweep (capacity is
+  /// exchanged, so the steady state allocates nothing).
+  std::vector<VmId>& period_dirty_ring() { return period_dirty_; }
+
   // --- live migration ----------------------------------------------------
 
   /// Detaches `vm` from this platform: its id slots become tombstones and
@@ -135,6 +154,8 @@ class Platform {
   std::vector<Pcpu*> pcpus_;
   std::unique_ptr<Engine> engine_;
   net::VirtualNetwork* network_ = nullptr;
+  std::uint64_t topology_version_ = 0;
+  std::vector<VmId> period_dirty_;
 };
 
 }  // namespace virt

@@ -12,6 +12,12 @@ namespace atcsim::virt {
 void SyncEvent::signal() {
   if (signalled_) return;
   signalled_ = true;
+  // Any pending effect-index entry is dead from here on: either this is the
+  // registered timer itself firing (the entry's time is <= now) or the
+  // condition fired early and the waiters are being consumed, so the entry
+  // no longer guards anything.  Bumping the sequence invalidates the heap
+  // node lazily.
+  clear_effect_pending();
   // Swap the waiter list into a retained scratch buffer instead of moving
   // it out: both vectors keep their capacity, so a reset()/wait/signal
   // cycle (dom0's idle wait) never reallocates.  Waiters registered
@@ -39,6 +45,11 @@ void SyncEvent::signal() {
 void SyncEvent::remove_waiter(const Vcpu& v) {
   waiters_.erase(std::remove(waiters_.begin(), waiters_.end(), &v),
                  waiters_.end());
+  if (effect_when_ != 0) notify_effect_waiters_changed();
+}
+
+void SyncEvent::notify_effect_waiters_changed() {
+  engine_->on_effect_event_changed(*this);
 }
 
 }  // namespace atcsim::virt

@@ -57,17 +57,50 @@ class SyncEvent {
     scratch_.reserve(n);
   }
 
-  /// Engine bookkeeping: registers a waiter (any wait style).
-  void add_waiter(Vcpu& v) { waiters_.push_back(&v); }
+  /// Engine bookkeeping: registers a waiter (any wait style).  While a
+  /// signal_in timer on this event is pending in the engine's effect index,
+  /// a waiter-set change re-keys the index entry (the entry's key is the
+  /// fire time plus the minimum waiter effect distance); the cold notify
+  /// path stays out of line so the common un-indexed case is one branch.
+  void add_waiter(Vcpu& v) {
+    waiters_.push_back(&v);
+    if (effect_when_ != 0) notify_effect_waiters_changed();
+  }
   void remove_waiter(const Vcpu& v);
 
   /// Currently registered waiters — read by Engine::earliest_effect_time to
   /// bound the network acts a pending timer signal can unleash.
   const std::vector<Vcpu*>& waiters() const { return waiters_; }
 
+  // --- effect-index bookkeeping (Engine::signal_in only) ------------------
+  /// Fire time of the pending signal_in timer registered on this event in
+  /// the engine's effect index; 0 when none.  At most one timer may be
+  /// pending per event (both signal_in users re-arm only after firing).
+  sim::SimTime effect_pending_at() const { return effect_when_; }
+  /// Version of this event's effect-index entry: heap nodes stamped with an
+  /// older sequence are stale and discarded lazily at inspection.
+  std::uint32_t effect_seq() const { return effect_seq_; }
+  void set_effect_pending(sim::SimTime when) {
+    effect_when_ = when;
+    ++effect_seq_;
+  }
+  /// Kills the pending entry (signal consumed it, or migration cancelled
+  /// the timer); the sequence bump lazily invalidates any heap node.
+  void clear_effect_pending() {
+    if (effect_when_ != 0) {
+      effect_when_ = 0;
+      ++effect_seq_;
+    }
+  }
+  std::uint32_t bump_effect_seq() { return ++effect_seq_; }
+
  private:
+  void notify_effect_waiters_changed();
+
   Engine* engine_;
   bool signalled_ = false;
+  sim::SimTime effect_when_ = 0;
+  std::uint32_t effect_seq_ = 0;
   std::vector<Vcpu*> waiters_;
   std::vector<Vcpu*> scratch_;  ///< signal()'s wake list; kept for capacity
 };

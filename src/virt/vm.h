@@ -99,6 +99,9 @@ class Vm {
 
     void reset() { *this = PeriodStats{}; }
   };
+  /// Writers must call Platform::mark_period_activity(vm) first (engine and
+  /// network sites do): PeriodMonitor::sample visits only marked VMs, so an
+  /// unmarked write is invisible until the VM is next marked.
   PeriodStats& period() { return period_; }
   const PeriodStats& period() const { return period_; }
 
@@ -133,6 +136,18 @@ class Vm {
   /// First blocked VCPU (event-channel IRQ target), or nullptr.
   Vcpu* first_blocked();
 
+  // --- incremental-sweep dirty flags (engine / platform bookkeeping) ------
+  /// Set while this VM sits in its engine's effect-bound dirty ring: its
+  /// cached earliest-effect contribution must be recomputed at the next
+  /// bound query (see Engine::earliest_effect_time).
+  bool effect_bound_dirty() const { return effect_bound_dirty_; }
+  void set_effect_bound_dirty(bool d) { effect_bound_dirty_ = d; }
+  /// Set while this VM sits in its platform's period-activity ring: some
+  /// per-period accumulator was written since the last monitor sweep, so
+  /// PeriodMonitor::sample must visit it (clean VMs are skipped).
+  bool period_dirty() const { return period_dirty_; }
+  void set_period_dirty(bool d) { period_dirty_ = d; }
+
  private:
   VmId id_;
   Node* node_;
@@ -148,6 +163,8 @@ class Vm {
   bool latency_sensitive_ = false;
   PeriodStats period_;
   Totals totals_;
+  bool effect_bound_dirty_ = false;
+  bool period_dirty_ = false;
   std::vector<sim::InlineCallback> mailbox_;
   std::vector<sim::InlineCallback> mailbox_scratch_;
 };

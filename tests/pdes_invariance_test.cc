@@ -78,6 +78,9 @@ struct RunCase {
   /// Schedule the scripted live-migration plan (see run_case): moves chosen
   /// by global VM id, so the plan is identical at every shard count.
   bool migrate = false;
+  /// Answer effect-bound queries with the preserved full-scan reference
+  /// implementation instead of the incremental index (A/B identity runs).
+  bool reference_bound = false;
 };
 
 std::uint64_t fnv1a(std::uint64_t h, const char* p, std::size_t n) {
@@ -132,6 +135,7 @@ RunResult run_case(const RunCase& c) {
       .shards(c.shards)
       .shard_threads(c.threads);
   if (c.trace || c.trace_hash) b.tracing();
+  if (c.reference_bound) b.reference_effect_bound();
   auto sp = b.build();
   Scenario& s = *sp;
   std::string prefix = c.app + workload::npb_class_suffix(c.cls);
@@ -416,6 +420,31 @@ TEST(PdesInvarianceTest, MigratingRunsKeepThreadCountTraceDeterminism) {
     EXPECT_EQ(one.trace, many.trace)
         << "merged trace differs at threads=" << threads;
   }
+}
+
+TEST(PdesInvarianceTest, ReferenceBoundModeNeverChangesTheMergedTrace) {
+  // The incremental effect-time index must be invisible: swapping the
+  // per-round bound queries to the preserved full-scan reference
+  // implementation changes when the bound is *computed*, never its value —
+  // so the merged trace is byte-identical, migrations included.
+  RunCase base;
+  base.nodes = 8;
+  base.shards = 4;
+  base.trace = true;
+  base.threads = 1;
+  base.migrate = true;
+  base.descriptor = kMigratingDescriptor;
+  const RunResult incremental = run_case(base);
+  ASSERT_GT(incremental.migrations, 0u);
+  ASSERT_FALSE(incremental.trace.empty());
+  RunCase ref = base;
+  ref.reference_bound = true;
+  const RunResult reference = run_case(ref);
+  expect_equal_metrics(incremental, reference, "reference bound mode");
+  EXPECT_EQ(incremental.trace, reference.trace)
+      << "merged trace differs between incremental and reference bound";
+  EXPECT_EQ(incremental.migrations, reference.migrations);
+  EXPECT_EQ(incremental.rounds, reference.rounds);
 }
 
 TEST(PdesInvarianceTest, FabricConservesCrossShardPackets) {

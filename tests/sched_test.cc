@@ -240,6 +240,7 @@ TEST(DssTest, IoActiveVmGetsShortSliceIdleVmKeepsDefault) {
     virt::Platform* p;
     virt::Vm* vm;
     void operator()() const {
+      p->mark_period_activity(*vm);  // external writers must mark
       vm->period().io_events += 1;
       p->simulation().call_in(10_ms, *this);
     }
